@@ -1,0 +1,35 @@
+"""Benchmarks for the three ablations (paper §5 / future work)."""
+
+from repro.experiments import (
+    ablation_cacheconfig,
+    ablation_persistence,
+    ablation_wcet_alloc,
+)
+
+from conftest import run_once
+
+
+def bench_ablation_cache_configs(benchmark):
+    result = run_once(benchmark, ablation_cacheconfig.run, fast=True)
+    for row in result["rows"]:
+        # Instruction caches analyse far better than unified ones (no
+        # data clobbering of the MUST state).
+        assert row["icache_dm_ratio"] <= row["unified_dm_ratio"]
+    benchmark.extra_info["rows"] = result["rows"]
+
+
+def bench_ablation_persistence(benchmark):
+    result = run_once(benchmark, ablation_persistence.run, fast=True)
+    for row in result["rows"]:
+        assert row["cache_wcet_persist"] <= row["cache_wcet_must"]
+        # The paper's conjecture: even full cache analysis cannot reach
+        # the inherently predictable scratchpad.
+        assert row["spm_wcet"] < row["cache_wcet_persist"]
+    benchmark.extra_info["rows"] = result["rows"]
+
+
+def bench_ablation_wcet_driven_allocation(benchmark):
+    result = run_once(benchmark, ablation_wcet_alloc.run, fast=True)
+    for row in result["rows"]:
+        assert row["wcet_wcet_alloc"] <= row["wcet_energy_alloc"] * 1.05
+    benchmark.extra_info["rows"] = result["rows"]

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the tool-stack components.
+
+These time the pieces a user pays for repeatedly: compilation, simulation
+throughput, the cache fixpoint, IPET solving and the knapsack ILP.
+"""
+
+from repro.benchmarks import get
+from repro.ilp import Model
+from repro.link import link
+from repro.memory import CacheConfig, SystemConfig
+from repro.minic import compile_source
+from repro.sim import simulate
+from repro.spm import Item, solve_knapsack_ilp
+from repro.wcet import CacheAnalysis, analyze_wcet, build_all_cfgs
+from repro.wcet.stackdepth import stack_region
+
+
+def bench_compile_g721(benchmark):
+    source = get("g721").source()
+    compiled = benchmark(compile_source, source)
+    assert any(f.name == "g721_encoder"
+               for f in compiled.program.functions)
+
+
+def bench_simulate_adpcm_uncached(benchmark):
+    image = link(compile_source(get("adpcm").source()).program)
+    config = SystemConfig.uncached()
+    result = benchmark(simulate, image, config)
+    benchmark.extra_info["instructions"] = result.instructions
+    benchmark.extra_info["mips_equivalent"] = round(
+        result.instructions / max(benchmark.stats["mean"], 1e-9) / 1e6, 2)
+
+
+def bench_simulate_adpcm_cached(benchmark):
+    image = link(compile_source(get("adpcm").source()).program)
+    config = SystemConfig.cached(CacheConfig(size=1024))
+    result = benchmark(simulate, image, config)
+    assert result.cache_stats.hits > 0
+
+
+def bench_cache_fixpoint_g721(benchmark):
+    image = link(compile_source(get("g721").source()).program)
+    cfgs = build_all_cfgs(image)
+    entry_by_addr = {c.entry: n for n, c in cfgs.items()}
+    rng = stack_region(cfgs, "_start", entry_by_addr)
+
+    def run():
+        return CacheAnalysis(image, cfgs, CacheConfig(size=1024), rng,
+                             "_start").run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.classes
+
+
+def bench_wcet_analysis_multisort(benchmark):
+    image = link(compile_source(get("multisort").source()).program)
+    config = SystemConfig.uncached()
+    result = benchmark.pedantic(analyze_wcet, args=(image, config),
+                                rounds=3, iterations=1)
+    assert result.wcet > 0
+
+
+def bench_ipet_ilp_solve(benchmark):
+    # A representative IPET-sized ILP (flow + bounds structure).
+    def solve():
+        model = Model("bench", maximize=True)
+        xs = [model.add_var(f"x{i}", integer=True) for i in range(40)]
+        for left, right in zip(xs, xs[1:]):
+            model.add_le({left: 1, right: -1}, 0)
+        model.add_le({xs[0]: 1}, 1)
+        for i, x in enumerate(xs[1:], start=1):
+            model.add_le({x: 1, xs[0]: -10}, 0)
+        model.set_objective({x: 3 + (i % 7)
+                             for i, x in enumerate(xs)})
+        return model.solve()
+
+    solution = benchmark(solve)
+    assert solution.is_optimal
+
+
+def bench_knapsack_ilp(benchmark):
+    items = [Item(f"obj{i}", size=16 + (i * 37) % 300,
+                  benefit=float(1 + (i * 13) % 97))
+             for i in range(40)]
+
+    def solve():
+        return solve_knapsack_ilp(items, 2048)
+
+    chosen, benefit = benchmark(solve)
+    assert benefit > 0

@@ -1,0 +1,25 @@
+"""Benchmarks for Figure 2 (annotation file) and the §4 precision check."""
+
+from repro.experiments import fig2_annotations, xtra_worstcase_sort
+
+from conftest import run_once
+
+
+def bench_fig2_annotations(benchmark):
+    result = run_once(benchmark, fig2_annotations.run)
+    row = result["rows"][0]
+    assert row["areas"] > 5
+    assert row["loop_bounds"] > 3
+    assert row["access_ranges"] > 10
+    text = result["text"]
+    assert "# Scratchpad" in text and "Literal pool" in text
+    benchmark.extra_info.update(row)
+
+
+def bench_worstcase_sort_precision(benchmark):
+    result = run_once(benchmark, xtra_worstcase_sort.run)
+    row = result["rows"][0]
+    # Paper: WCET and simulation "only differed by [a small percentage]".
+    assert 0 <= row["gap_percent"] < 3.0
+    assert row["wcet_cycles"] >= row["sim_cycles"]
+    benchmark.extra_info.update(row)

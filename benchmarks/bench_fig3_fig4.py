@@ -1,0 +1,30 @@
+"""Benchmarks regenerating Figures 3 and 4 (G.721 sweeps and ratios)."""
+
+from repro.experiments import fig3_g721, fig4_ratio_g721
+
+from conftest import run_once
+
+
+def bench_fig3_g721(benchmark):
+    result = run_once(benchmark, fig3_g721.run, fast=True)
+    spm = result["spm"]
+    cache = result["cache"]
+    # Figure 3a: parallel decreasing curves.
+    assert spm[-1]["sim_cycles"] < spm[0]["sim_cycles"]
+    assert spm[-1]["wcet_cycles"] < spm[0]["wcet_cycles"]
+    # Figure 3b: sim drops, WCET stays high.
+    assert cache[-1]["sim_cycles"] < cache[0]["sim_cycles"] / 2
+    assert cache[-1]["wcet_cycles"] > cache[0]["wcet_cycles"] / 2
+    benchmark.extra_info["spm_rows"] = spm
+    benchmark.extra_info["cache_rows"] = cache
+
+
+def bench_fig4_ratio_g721(benchmark):
+    result = run_once(benchmark, fig4_ratio_g721.run, fast=True)
+    rows = result["rows"]
+    spm_ratios = [r["spm_ratio"] for r in rows]
+    cache_ratios = [r["cache_ratio"] for r in rows]
+    assert max(spm_ratios) / min(spm_ratios) < 1.25   # near constant
+    assert cache_ratios[-1] > cache_ratios[0] * 2     # grows with size
+    benchmark.extra_info["spm_ratios"] = spm_ratios
+    benchmark.extra_info["cache_ratios"] = cache_ratios

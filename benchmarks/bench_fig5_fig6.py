@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Figure 5 (MultiSort) and Figure 6 (ADPCM)."""
+
+from repro.experiments import fig5_ratio_multisort, fig6_adpcm
+
+from conftest import run_once
+
+
+def bench_fig5_multisort(benchmark):
+    result = run_once(benchmark, fig5_ratio_multisort.run, fast=True)
+    rows = result["rows"]
+    spm_ratios = [r["spm_ratio"] for r in rows]
+    # Paper: roughly constant SPM ratio (about 3x from typical input),
+    # growing cache ratio.
+    assert max(spm_ratios) / min(spm_ratios) < 1.25
+    assert 1.5 < spm_ratios[0] < 4.5
+    assert rows[-1]["cache_ratio"] > rows[0]["cache_ratio"]
+    benchmark.extra_info["rows"] = rows
+
+
+def bench_fig6_adpcm(benchmark):
+    result = run_once(benchmark, fig6_adpcm.run, fast=True)
+    spm = result["spm"]
+    cache = result["cache"]
+    # Severe small-cache degradation vs. the small scratchpad.
+    assert cache[0]["sim_cycles"] > 1.5 * spm[0]["sim_cycles"]
+    # Low overall WCET/sim deviation on the scratchpad side.
+    assert all(r["ratio"] < 1.5 for r in spm)
+    # Cache WCET does not follow the average case.
+    assert cache[-1]["ratio"] > spm[-1]["ratio"] * 2
+    benchmark.extra_info["spm_rows"] = spm
+    benchmark.extra_info["cache_rows"] = cache

@@ -1,0 +1,26 @@
+"""Benchmarks regenerating Table 1 and Table 2."""
+
+from repro.experiments import table1, table2
+
+from conftest import run_once
+
+
+def bench_table1(benchmark):
+    result = run_once(benchmark, table1.run)
+    rows = {r["access_width"]: r for r in result["rows"]}
+    assert rows["Word (32 Bit)"]["main_memory"] == 4
+    assert rows["Word (32 Bit)"]["scratchpad"] == 1
+    assert rows["Byte (8 Bit)"]["main_memory"] == 2
+    benchmark.extra_info["rows"] = len(result["rows"])
+
+
+def bench_table2(benchmark):
+    result = run_once(benchmark, table2.run)
+    names = [r["name"] for r in result["rows"]]
+    assert names == ["G.721", "ADPCM", "MultiSort"]
+    assert all(r["code_bytes"] > 0 for r in result["rows"])
+    benchmark.extra_info["benchmarks"] = names
+
+
+def test_bench_modules_register():  # keeps plain pytest green on this dir
+    assert callable(table1.run) and callable(table2.run)

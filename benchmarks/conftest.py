@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper artefact (table/figure) has a ``bench_*`` module that
+regenerates it through pytest-benchmark, asserting the paper's qualitative
+shape on the result.  Heavy sweeps run in reduced (``fast``) form inside
+the timing loop; `repro-experiments` regenerates the full versions.
+"""
+
+import pytest
+
+from repro.benchmarks import get
+from repro.workflow import Workflow
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def workflow_factory():
+    def factory(key):
+        if key not in _CACHE:
+            _CACHE[key] = Workflow(get(key).source())
+            _CACHE[key].profile()  # warm the compile+profile steps
+        return _CACHE[key]
+    return factory
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

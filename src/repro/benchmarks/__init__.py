@@ -1,0 +1,5 @@
+"""Benchmark programs (the paper's Table 2) and their reference oracles."""
+
+from .suite import BENCHMARKS, Benchmark, get, table2_rows
+
+__all__ = ["BENCHMARKS", "Benchmark", "get", "table2_rows"]

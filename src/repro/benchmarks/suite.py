@@ -1,0 +1,106 @@
+"""Benchmark registry — the paper's Table 2.
+
+================ =========================================================
+Name             Description
+================ =========================================================
+G.721            Speech encoding and decoding, CCITT ADPCM reference
+                 implementation (MediaBench)
+ADPCM            Adaptive Differential PCM coder/decoder, IMA/DVI variant
+                 (MediaBench)
+MultiSort        A mix of sorting algorithms commonly found in many
+                 applications
+SortWC           Insertion sort with a known worst-case input (precision
+                 check, §4 of the paper)
+================ =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import resources
+
+from . import reference
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark program."""
+
+    name: str
+    source_file: str
+    description: str
+    #: callable returning (expected console lines, expected exit code)
+    expected: object
+    #: part of the paper's Table 2 (BubbleWC is the §4 side experiment)
+    in_table2: bool = True
+
+    def source(self) -> str:
+        package = resources.files("repro.benchmarks") / "sources"
+        return (package / self.source_file).read_text()
+
+
+BENCHMARKS = {
+    "g721": Benchmark(
+        name="G.721",
+        source_file="g721.mc",
+        description=("Speech encoding and decoding, CCITT ADPCM "
+                     "reference implementation (MediaBench)"),
+        expected=reference.g721_expected,
+    ),
+    "adpcm": Benchmark(
+        name="ADPCM",
+        source_file="adpcm.mc",
+        description=("Adaptive Differential PCM coder/decoder, "
+                     "IMA/DVI variant (MediaBench)"),
+        expected=reference.adpcm_expected,
+    ),
+    "multisort": Benchmark(
+        name="MultiSort",
+        source_file="multisort.mc",
+        description=("A mix of sorting algorithms commonly found in "
+                     "many applications"),
+        expected=reference.multisort_expected,
+    ),
+    "fir": Benchmark(
+        name="FIR",
+        source_file="fir.mc",
+        description=("35-tap FIR filter, fixed point "
+                     "(Malardalen-style, extended suite)"),
+        expected=reference.fir_expected,
+        in_table2=False,
+    ),
+    "crc": Benchmark(
+        name="CRC",
+        source_file="crc.mc",
+        description=("CRC-16/CCITT, bit-serial and table-driven "
+                     "(Malardalen-style, extended suite)"),
+        expected=reference.crc_expected,
+        in_table2=False,
+    ),
+    "matmult": Benchmark(
+        name="MatMult",
+        source_file="matmult.mc",
+        description=("12x12 integer matrix multiplication "
+                     "(Malardalen-style, extended suite)"),
+        expected=reference.matmult_expected,
+        in_table2=False,
+    ),
+    "sort_wc": Benchmark(
+        name="SortWC",
+        source_file="sort_wc.mc",
+        description=("Insertion sort with a known worst-case input "
+                     "(WCET precision check)"),
+        expected=reference.sort_wc_expected,
+        in_table2=False,
+    ),
+}
+
+
+def get(name: str) -> Benchmark:
+    return BENCHMARKS[name]
+
+
+def table2_rows():
+    """The rows of the paper's Table 2."""
+    return [(b.name, b.description)
+            for b in BENCHMARKS.values() if b.in_table2]

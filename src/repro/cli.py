@@ -1,0 +1,185 @@
+"""repro-cc: command-line front end for the whole tool stack.
+
+Subcommands (all take a mini-C source file):
+
+* ``run``        — compile, link, simulate; print cycles and console
+* ``wcet``       — static WCET analysis; print the per-function report
+* ``compare``    — the paper's experiment on one program: sim vs. WCET
+* ``map``        — placement map (the linker's view)
+* ``disasm``     — disassembly listing of the linked image
+* ``annotations``— the aiT-style annotation file (Figure 2 format)
+
+Memory-system options shared by all subcommands::
+
+    --spm N [--alloc energy|wcet]   scratchpad of N bytes (knapsack-filled)
+    --cache N [--assoc K] [--icache] [--line L]
+    (neither)                       plain main memory
+
+Examples::
+
+    repro-cc run task.c --spm 1024
+    repro-cc wcet task.c --cache 512 --persistence
+    repro-cc compare task.c --spm 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .isa.disassembler import format_instr
+from .link.linker import link
+from .memory.cache import CacheConfig
+from .memory.hierarchy import SystemConfig
+from .minic.frontend import compile_source
+from .sim.profile import build_profile
+from .sim.simulator import simulate
+from .spm.allocator import allocate_energy_optimal
+from .spm.wcet_driven import allocate_wcet_driven
+from .wcet.analyzer import analyze_wcet
+from .wcet.annotations import format_annotations, generate_annotations
+from .wcet.cfg import build_all_cfgs
+
+
+def _add_memory_options(parser):
+    parser.add_argument("source", help="mini-C source file")
+    parser.add_argument("--entry", default="main",
+                        help="entry function (default: main)")
+    parser.add_argument("--spm", type=int, metavar="BYTES",
+                        help="scratchpad capacity")
+    parser.add_argument("--alloc", choices=("energy", "wcet"),
+                        default="energy",
+                        help="scratchpad allocation objective")
+    parser.add_argument("--cache", type=int, metavar="BYTES",
+                        help="cache capacity")
+    parser.add_argument("--assoc", type=int, default=1,
+                        help="cache associativity (default 1)")
+    parser.add_argument("--line", type=int, default=16,
+                        help="cache line size in bytes (default 16)")
+    parser.add_argument("--icache", action="store_true",
+                        help="instruction-only cache (data bypasses)")
+
+
+def _build(args):
+    """(image, config) for the requested memory system."""
+    with open(args.source) as handle:
+        compiled = compile_source(handle.read(), entry=args.entry)
+    if args.spm and args.cache:
+        raise SystemExit("choose --spm or --cache, not both")
+    if args.spm:
+        if args.alloc == "energy":
+            baseline = link(compiled.program)
+            profile_run = simulate(baseline, SystemConfig.uncached(),
+                                   profile=True)
+            profile = build_profile(baseline, profile_run)
+            allocation = allocate_energy_optimal(compiled.program,
+                                                 profile, args.spm)
+        else:
+            allocation = allocate_wcet_driven(compiled.program, args.spm)
+        image = link(compiled.program, spm_size=args.spm,
+                     spm_objects=allocation.objects)
+        return image, SystemConfig.scratchpad(args.spm)
+    if args.cache:
+        cache = CacheConfig(size=args.cache, line_size=args.line,
+                            assoc=args.assoc, unified=not args.icache)
+        return link(compiled.program), SystemConfig.cached(cache)
+    return link(compiled.program), SystemConfig.uncached()
+
+
+def cmd_run(args):
+    image, config = _build(args)
+    result = simulate(image, config)
+    for line in result.console:
+        print(line)
+    print(f"# {config.describe()}")
+    print(f"# cycles:       {result.cycles}")
+    print(f"# instructions: {result.instructions}")
+    print(f"# exit code:    {result.exit_code}")
+    if result.cache_stats is not None:
+        stats = result.cache_stats
+        total = stats.hits + stats.misses
+        print(f"# cache:        {stats.hits} hits, {stats.misses} misses "
+              f"({100 * stats.misses / max(total, 1):.2f}% miss rate)")
+    return 0
+
+
+def cmd_wcet(args):
+    image, config = _build(args)
+    result = analyze_wcet(image, config, persistence=args.persistence)
+    print(result.report())
+    lo, hi = result.stack_range
+    print(f"  stack bound: {hi - lo} bytes")
+    if result.cache_result is not None:
+        from .wcet.cacheanalysis import AH, FM
+        print(f"  cache classification: "
+              f"{result.cache_result.count(AH)} always-hit, "
+              f"{result.cache_result.count(FM)} first-miss")
+    return 0
+
+
+def cmd_compare(args):
+    image, config = _build(args)
+    sim = simulate(image, config)
+    wcet = analyze_wcet(image, config, persistence=args.persistence)
+    print(f"{config.describe()}")
+    print(f"  simulated (typical input): {sim.cycles:>12} cycles")
+    print(f"  WCET bound:                {wcet.wcet:>12} cycles")
+    print(f"  WCET / sim ratio:          {wcet.wcet / sim.cycles:>12.3f}")
+    return 0
+
+
+def cmd_map(args):
+    image, _config = _build(args)
+    print(image.map_report())
+    return 0
+
+
+def cmd_disasm(args):
+    image, _config = _build(args)
+    cfgs = build_all_cfgs(image)
+    for obj in sorted(image.code_objects, key=lambda o: o.base):
+        print(f"\n{obj.name}:  ; {obj.region} @ {obj.base:#x}, "
+              f"{obj.size} bytes")
+        cfg = cfgs[obj.name]
+        listing = sorted(
+            (addr, instr)
+            for block in cfg.blocks.values()
+            for addr, instr in block.instrs)
+        block_starts = set(cfg.blocks)
+        for addr, instr in listing:
+            marker = ">" if addr in block_starts else " "
+            print(f"  {marker} {addr:#08x}  {format_instr(instr)}")
+    return 0
+
+
+def cmd_annotations(args):
+    image, config = _build(args)
+    print(format_annotations(generate_annotations(image, config)), end="")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cc",
+        description="mini-C toolchain: simulate and bound embedded tasks")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, func, needs_persistence in (
+            ("run", cmd_run, False),
+            ("wcet", cmd_wcet, True),
+            ("compare", cmd_compare, True),
+            ("map", cmd_map, False),
+            ("disasm", cmd_disasm, False),
+            ("annotations", cmd_annotations, False)):
+        command = sub.add_parser(name)
+        _add_memory_options(command)
+        if needs_persistence:
+            command.add_argument(
+                "--persistence", action="store_true",
+                help="enable first-miss cache persistence analysis")
+        command.set_defaults(func=func)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

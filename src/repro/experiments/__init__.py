@@ -1,0 +1,22 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+===================== ====================================================
+module                paper artefact
+===================== ====================================================
+table1                Table 1 — cycles per memory access
+table2                Table 2 — benchmark inventory
+fig2_annotations      Figure 2 — memory-area annotation file
+fig3_g721             Figure 3 — G.721 absolute cycles (SPM and cache)
+fig4_ratio_g721       Figure 4 — G.721 WCET/sim ratios
+fig5_ratio_multisort  Figure 5 — MultiSort WCET/sim ratios
+fig6_adpcm            Figure 6 — ADPCM results
+xtra_worstcase_sort   §4 — known worst-case-input precision check
+ablation_cacheconfig  §5 future work — i-cache / set-associative configs
+ablation_persistence  §5 — MUST-only vs. full cache analysis
+ablation_wcet_alloc   §5 future work — WCET-driven allocation
+===================== ====================================================
+"""
+
+from .runner import EXPERIMENTS, main
+
+__all__ = ["EXPERIMENTS", "main"]

@@ -1,0 +1,71 @@
+"""Terminal rendering of the paper's figures (ASCII bar charts).
+
+The paper presents Figures 3-6 as charts; the experiment modules attach a
+text rendering so `repro-experiments` output visually mirrors them.
+"""
+
+from __future__ import annotations
+
+FULL = "#"
+HALF = "+"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    units = 0.0 if scale <= 0 else (value / scale) * width
+    whole = int(units)
+    frac = units - whole
+    bar = FULL * whole
+    if frac >= 0.5:
+        bar += HALF
+    return bar
+
+
+def ascii_chart(rows, series, width=40, value_format="{:.3f}",
+                label_header="size") -> str:
+    """Grouped horizontal bar chart.
+
+    *rows* is a list of (label, {series_name: value}) pairs; *series* the
+    ordered series names.  Bars share one scale (the global maximum).
+    """
+    peak = max((values[name] for _label, values in rows
+                for name in series if name in values), default=0)
+    label_width = max([len(str(label)) for label, _ in rows]
+                     + [len(label_header)])
+    name_width = max(len(name) for name in series)
+    lines = []
+    for label, values in rows:
+        for position, name in enumerate(series):
+            if name not in values:
+                continue
+            value = values[name]
+            prefix = (f"{label!s:>{label_width}}" if position == 0
+                      else " " * label_width)
+            lines.append(
+                f"{prefix} {name:<{name_width}} "
+                f"{_bar(value, peak, width):<{width + 1}}"
+                f" {value_format.format(value)}")
+        lines.append("")
+    if lines:
+        lines.pop()
+    return "\n".join(lines)
+
+
+def ratio_chart(rows, spm_key="spm_ratio", cache_key="cache_ratio",
+                width=40) -> str:
+    """Figure-4/5 style chart: scratchpad vs. cache ratio per size."""
+    chart_rows = [
+        (row["size"], {"spm": row[spm_key], "cache": row[cache_key]})
+        for row in rows
+    ]
+    return ascii_chart(chart_rows, ["spm", "cache"], width=width)
+
+
+def cycles_chart(rows, sim_key="sim_cycles", wcet_key="wcet_cycles",
+                 width=40) -> str:
+    """Figure-3/6 style chart: absolute sim and WCET cycles per size."""
+    chart_rows = [
+        (row["size"], {"sim": row[sim_key], "wcet": row[wcet_key]})
+        for row in rows
+    ]
+    return ascii_chart(chart_rows, ["sim", "wcet"], width=width,
+                       value_format="{:,.0f}")

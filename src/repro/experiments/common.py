@@ -1,0 +1,71 @@
+"""Shared infrastructure for experiment regeneration.
+
+Each experiment module exposes ``run(fast=False) -> dict`` with at least
+``name``, ``rows`` (list of dicts) and ``text`` (formatted report).
+``fast=True`` shrinks sweeps for use inside pytest-benchmark timing loops;
+the full runs regenerate the paper's artefacts.
+"""
+
+from __future__ import annotations
+
+from ..benchmarks import get as get_benchmark
+from ..workflow import PAPER_SIZES, Workflow
+
+#: Reduced sweep for fast/benchmark runs.
+FAST_SIZES = (64, 512, 4096)
+
+_WORKFLOWS = {}
+
+
+def workflow_for(key: str) -> Workflow:
+    """Cached workflow per benchmark (compile + profile once)."""
+    if key not in _WORKFLOWS:
+        _WORKFLOWS[key] = Workflow(get_benchmark(key).source())
+    return _WORKFLOWS[key]
+
+
+def sizes(fast: bool):
+    return FAST_SIZES if fast else PAPER_SIZES
+
+
+def format_table(headers, rows) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    cells = []
+    for row in rows:
+        line = [str(value) for value in row]
+        cells.append(line)
+        widths = [max(w, len(v)) for w, v in zip(widths, line)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def spm_rows(points):
+    return [
+        {
+            "size": p.config.spm_size,
+            "sim_cycles": p.sim.cycles,
+            "wcet_cycles": p.wcet.wcet,
+            "ratio": round(p.ratio, 3),
+            "spm_used": p.allocation.used_bytes,
+            "objects": len(p.allocation.objects),
+        }
+        for p in points
+    ]
+
+
+def cache_rows(points):
+    return [
+        {
+            "size": p.config.cache.size,
+            "sim_cycles": p.sim.cycles,
+            "wcet_cycles": p.wcet.wcet,
+            "ratio": round(p.ratio, 3),
+            "misses": p.sim.cache_stats.misses,
+            "hits": p.sim.cache_stats.hits,
+        }
+        for p in points
+    ]

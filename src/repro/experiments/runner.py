@@ -1,0 +1,70 @@
+"""Command-line runner: regenerate any table/figure of the paper.
+
+Usage::
+
+    repro-experiments            # everything, full sweeps
+    repro-experiments fig4 fig5  # selected experiments
+    repro-experiments --fast     # reduced sweeps (smoke test)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ablation_cacheconfig,
+    ablation_persistence,
+    ablation_wcet_alloc,
+    fig2_annotations,
+    fig3_g721,
+    fig4_ratio_g721,
+    fig5_ratio_multisort,
+    fig6_adpcm,
+    table1,
+    table2,
+    xtra_worstcase_sort,
+)
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig2": fig2_annotations.run,
+    "fig3": fig3_g721.run,
+    "fig4": fig4_ratio_g721.run,
+    "fig5": fig5_ratio_multisort.run,
+    "fig6": fig6_adpcm.run,
+    "worstcase": xtra_worstcase_sort.run,
+    "ablation_cacheconfig": ablation_cacheconfig.run,
+    "ablation_persistence": ablation_persistence.run,
+    "ablation_wcet_alloc": ablation_wcet_alloc.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help=f"subset of: {', '.join(EXPERIMENTS)}")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced sweeps (smoke test)")
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    for name in selected:
+        start = time.time()
+        result = EXPERIMENTS[name](fast=args.fast)
+        elapsed = time.time() - start
+        print(f"===== {name} ({elapsed:.1f}s) =====")
+        print(result["text"])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Table 1: cycles per memory access (access + waitstates)."""
+
+from __future__ import annotations
+
+from ..memory.regions import RegionKind
+from ..memory.timing import AccessTiming
+from .common import format_table
+
+
+def run(fast: bool = False) -> dict:
+    timing = AccessTiming.table1()
+    rows = []
+    for label, width in (("Byte (8 Bit)", 1), ("Halfword (16 Bit)", 2),
+                         ("Word (32 Bit)", 4)):
+        rows.append({
+            "access_width": label,
+            "main_memory": timing.cycles(RegionKind.MAIN, width),
+            "scratchpad": timing.cycles(RegionKind.SPM, width),
+        })
+    text = "Table 1: Cycles per memory access (access + waitstates)\n"
+    text += format_table(
+        ["Access Width", "Main Memory", "Scratchpad"],
+        [(r["access_width"], r["main_memory"], r["scratchpad"])
+         for r in rows])
+    return {"name": "table1", "rows": rows, "text": text}

@@ -1,0 +1,29 @@
+"""Table 2: the benchmark inventory."""
+
+from __future__ import annotations
+
+from ..benchmarks import BENCHMARKS, table2_rows
+from ..workflow import Workflow
+from .common import format_table
+
+
+def run(fast: bool = False) -> dict:
+    rows = []
+    for key, bench in BENCHMARKS.items():
+        if not bench.in_table2:
+            continue
+        entry = {"name": bench.name, "description": bench.description}
+        if not fast:
+            workflow = Workflow(bench.source())
+            image = workflow.baseline_image()
+            entry["code_bytes"] = sum(o.size for o in image.code_objects)
+            entry["data_bytes"] = sum(o.size for o in image.data_objects)
+        rows.append(entry)
+    headers = ["Name", "Description"]
+    table = [(r["name"], r["description"]) for r in rows]
+    if rows and "code_bytes" in rows[0]:
+        headers += ["Code (B)", "Data (B)"]
+        table = [(r["name"], r["description"], r["code_bytes"],
+                  r["data_bytes"]) for r in rows]
+    text = "Table 2: Benchmarks\n" + format_table(headers, table)
+    return {"name": "table2", "rows": rows, "text": text}

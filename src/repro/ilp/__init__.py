@@ -1,0 +1,10 @@
+"""Exact (I)LP solving: two-phase simplex + branch & bound (CPLEX role)."""
+
+from .model import EQ, GE, LE, Model, Solution, Status, Var
+from .simplex import solve_lp, solve_lp_model
+from .branch_bound import solve_ilp
+
+__all__ = [
+    "EQ", "GE", "LE", "Model", "Solution", "Status", "Var",
+    "solve_lp", "solve_lp_model", "solve_ilp",
+]

@@ -1,0 +1,24 @@
+"""T16: a THUMB-like 16-bit instruction set (ISA layer).
+
+Public surface:
+
+* :mod:`repro.isa.opcodes` — :class:`Op`, :class:`Cond` and opcode metadata
+* :mod:`repro.isa.instruction` — :class:`Instr` plus operand-checked factories
+* :mod:`repro.isa.encoding` — :func:`encode` / :func:`decode`
+* :mod:`repro.isa.assembler` — two-pass text assembler
+* :mod:`repro.isa.disassembler` — :func:`format_instr`
+"""
+
+from .opcodes import Cond, Op
+from .instruction import Instr
+from .encoding import EncodingError, IllegalInstruction, decode, encode
+from .assembler import AsmError, Assembler, Data, Label, assemble
+from .disassembler import disassemble_words, format_instr
+from .registers import LR, PC, SP, parse_reg, reg_name
+
+__all__ = [
+    "Cond", "Op", "Instr", "EncodingError", "IllegalInstruction",
+    "decode", "encode", "AsmError", "Assembler", "Data", "Label",
+    "assemble", "disassemble_words", "format_instr",
+    "LR", "PC", "SP", "parse_reg", "reg_name",
+]

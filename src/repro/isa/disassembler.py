@@ -1,0 +1,102 @@
+"""Textual disassembly of T16 instructions."""
+
+from __future__ import annotations
+
+from .opcodes import ALU_INDEX, Op
+from .registers import reg_name
+
+
+_SHIFT_NAMES = {Op.LSLI: "lsl", Op.LSRI: "lsr", Op.ASRI: "asr"}
+_MEM_I_NAMES = {Op.STRWI: "str", Op.LDRWI: "ldr", Op.STRHI: "strh",
+                Op.LDRHI: "ldrh", Op.STRBI: "strb", Op.LDRBI: "ldrb"}
+_MEM_R_NAMES = {Op.STRW_R: "str", Op.LDRW_R: "ldr", Op.STRH_R: "strh",
+                Op.LDRH_R: "ldrh", Op.STRB_R: "strb", Op.LDRB_R: "ldrb",
+                Op.LDRSH_R: "ldrsh", Op.LDRSB_R: "ldrsb"}
+
+
+def _target(instr) -> str:
+    if isinstance(instr.target, int):
+        return f"{instr.target:#x}"
+    return str(instr.target)
+
+
+def format_instr(instr) -> str:
+    """Render *instr* as one line of assembly text."""
+    op = instr.op
+    rd = reg_name(instr.rd) if instr.rd is not None else None
+    rn = reg_name(instr.rn) if instr.rn is not None else None
+    rm = reg_name(instr.rm) if instr.rm is not None else None
+
+    if op in _SHIFT_NAMES:
+        return f"{_SHIFT_NAMES[op]} {rd}, {rm}, #{instr.imm}"
+    if op is Op.ADDR:
+        return f"add {rd}, {rn}, {rm}"
+    if op is Op.SUBR:
+        return f"sub {rd}, {rn}, {rm}"
+    if op is Op.ADD3:
+        return f"add {rd}, {rn}, #{instr.imm}"
+    if op is Op.SUB3:
+        return f"sub {rd}, {rn}, #{instr.imm}"
+    if op is Op.MOVI:
+        return f"mov {rd}, #{instr.imm}"
+    if op is Op.CMPI:
+        return f"cmp {rd}, #{instr.imm}"
+    if op is Op.ADDI:
+        return f"add {rd}, #{instr.imm}"
+    if op is Op.SUBI:
+        return f"sub {rd}, #{instr.imm}"
+    if op in ALU_INDEX:
+        return f"{op.name.lower()} {rd}, {rm}"
+    if op is Op.MOVR:
+        return f"mov {rd}, {rm}"
+    if op is Op.BX:
+        return f"bx {reg_name(instr.rm)}"
+    if op is Op.LDRPC:
+        if instr.target is not None and not isinstance(instr.target, int):
+            return f"ldr {rd}, ={instr.target}"
+        return f"ldr {rd}, [pc, #{instr.imm}]"
+    if op is Op.ADDPC:
+        return f"add {rd}, pc, #{instr.imm}"
+    if op is Op.LDRSP:
+        return f"ldr {rd}, [sp, #{instr.imm}]"
+    if op is Op.STRSP:
+        return f"str {rd}, [sp, #{instr.imm}]"
+    if op is Op.ADDSPI:
+        return f"add {rd}, sp, #{instr.imm}"
+    if op is Op.SPADJ:
+        if instr.imm < 0:
+            return f"sub sp, #{-instr.imm}"
+        return f"add sp, #{instr.imm}"
+    if op in _MEM_I_NAMES:
+        return f"{_MEM_I_NAMES[op]} {rd}, [{rn}, #{instr.imm}]"
+    if op in _MEM_R_NAMES:
+        return f"{_MEM_R_NAMES[op]} {rd}, [{rn}, {rm}]"
+    if op in (Op.PUSH, Op.POP):
+        regs = [reg_name(r) for r in instr.reglist]
+        if instr.with_link:
+            regs.append("lr" if op is Op.PUSH else "pc")
+        return f"{op.name.lower()} {{{', '.join(regs)}}}"
+    if op is Op.SWI:
+        return f"swi #{instr.imm}"
+    if op is Op.BCC:
+        return f"b{instr.cond.name.lower()} {_target(instr)}"
+    if op is Op.B:
+        return f"b {_target(instr)}"
+    if op is Op.BL:
+        return f"bl {_target(instr)}"
+    if op is Op.NOP:
+        return "nop"
+    raise ValueError(f"cannot format {op!r}")
+
+
+def disassemble_words(halfwords, base_addr: int = 0):
+    """Disassemble a sequence of halfwords; yields (addr, Instr) pairs."""
+    from .encoding import decode
+    index = 0
+    words = list(halfwords)
+    while index < len(words):
+        addr = base_addr + index * 2
+        nxt = words[index + 1] if index + 1 < len(words) else None
+        instr = decode(words[index], addr, nxt)
+        yield addr, instr
+        index += instr.size // 2

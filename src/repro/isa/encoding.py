@@ -1,0 +1,296 @@
+"""Binary encoding and decoding of T16 instructions.
+
+Encoding layout (bits 15..11 = major opcode unless noted):
+
+====== ===========================================================
+major  format
+====== ===========================================================
+00000  LSLI  imm5[10:6] rm[5:3] rd[2:0]
+00001  LSRI  (same fields)
+00010  ASRI  (same fields)
+00011  add/sub: sub[10:9] (00 ADDR, 01 SUBR, 10 ADD3, 11 SUB3),
+       rm-or-imm3[8:6], rn[5:3], rd[2:0]
+00100  MOVI  rd[10:8] imm8[7:0]
+00101  CMPI  ...
+00110  ADDI  ...
+00111  SUBI  ...
+01000  bit10=0: ALU subop[9:6] rm[5:3] rd[2:0]
+       bit10=1: subop[9:6]=0 MOVR rm[5:3] rd[2:0]; =1 BX rm4[6:3]
+01001  LDRPC rd[10:8] imm8[7:0] (words)
+01010  reg-offset stores: sub[10:9] 00 STRW_R 01 STRH_R 10 STRB_R
+       11 LDRSB_R; rm[8:6] rn[5:3] rd[2:0]
+01011  reg-offset loads: 00 LDRW_R 01 LDRH_R 10 LDRB_R 11 LDRSH_R
+01100  STRWI imm5[10:6] (words) rn[5:3] rd[2:0]
+01101  LDRWI
+01110  STRBI (bytes)
+01111  LDRBI
+10000  STRHI (halfwords)
+10001  LDRHI
+10010  STRSP rd[10:8] imm8[7:0] (words)
+10011  LDRSP
+10100  ADDPC rd[10:8] imm8[7:0] (words)
+10101  ADDSPI
+10110  SPADJ sign[7] imm7[6:0] (words)
+10111  PUSH/POP: L[10] (0 push, 1 pop), M[8], reglist[7:0]
+11000  SWI imm8[7:0]
+1101x  BCC cond[11:8] soff8[7:0]   (top four bits 1101)
+11100  B soff11[10:0]
+11101  BL prefix, off[10:0] (high part)
+11110  BL suffix, off[10:0] (low part)
+11111  NOP (remaining bits zero)
+====== ===========================================================
+
+Branch target arithmetic (THUMB-style, pc reads as instruction address + 4):
+
+* ``BCC``: target = addr + 4 + soff8 * 2
+* ``B``:   target = addr + 4 + soff11 * 2
+* ``BL``:  target = addr + 4 + signext22(hi11 << 11 | lo11) * 2
+* ``LDRPC``/``ADDPC`` base = (addr + 4) & ~3
+"""
+
+from __future__ import annotations
+
+from .instruction import Instr
+from .opcodes import ALU_INDEX, ALU_ORDER, Cond, Op
+
+
+class EncodingError(Exception):
+    """Instruction cannot be encoded (bad fields or out-of-range target)."""
+
+
+class IllegalInstruction(Exception):
+    """Halfword does not decode to a valid T16 instruction."""
+
+    def __init__(self, halfword, addr=None):
+        self.halfword = halfword
+        self.addr = addr
+        where = f" at {addr:#x}" if addr is not None else ""
+        super().__init__(f"illegal instruction {halfword:#06x}{where}")
+
+
+def _signed(value: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def _fit_signed(value: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} out of range [{lo}, {hi}]: {value}")
+    return value & ((1 << bits) - 1)
+
+
+_SHIFT_MAJORS = {Op.LSLI: 0b00000, Op.LSRI: 0b00001, Op.ASRI: 0b00010}
+_IMM8_MAJORS = {Op.MOVI: 0b00100, Op.CMPI: 0b00101,
+                Op.ADDI: 0b00110, Op.SUBI: 0b00111}
+_ADDSUB_SUB = {Op.ADDR: 0, Op.SUBR: 1, Op.ADD3: 2, Op.SUB3: 3}
+_STORE_R_SUB = {Op.STRW_R: 0, Op.STRH_R: 1, Op.STRB_R: 2, Op.LDRSB_R: 3}
+_LOAD_R_SUB = {Op.LDRW_R: 0, Op.LDRH_R: 1, Op.LDRB_R: 2, Op.LDRSH_R: 3}
+_MEM_I_MAJORS = {Op.STRWI: (0b01100, 4), Op.LDRWI: (0b01101, 4),
+                 Op.STRBI: (0b01110, 1), Op.LDRBI: (0b01111, 1),
+                 Op.STRHI: (0b10000, 2), Op.LDRHI: (0b10001, 2)}
+_SP_MAJORS = {Op.STRSP: 0b10010, Op.LDRSP: 0b10011}
+_PCADR_MAJORS = {Op.LDRPC: 0b01001, Op.ADDPC: 0b10100}
+
+
+def encode(instr: Instr, addr: int = 0, resolve=None) -> list[int]:
+    """Encode *instr* at byte address *addr* into a list of halfwords.
+
+    *resolve* maps a symbolic target (``instr.target``) to an absolute byte
+    address; it is required when the instruction still carries a label.
+    Numeric ``instr.target`` values are treated as already-absolute.
+    """
+    op = instr.op
+
+    def target_addr():
+        target = instr.target
+        if isinstance(target, int):
+            return target
+        if resolve is None:
+            raise EncodingError(f"unresolved target {target!r} in {op.name}")
+        return resolve(target)
+
+    if op in _SHIFT_MAJORS:
+        return [(_SHIFT_MAJORS[op] << 11) | (instr.imm << 6)
+                | (instr.rm << 3) | instr.rd]
+    if op in _ADDSUB_SUB:
+        field = instr.rm if op in (Op.ADDR, Op.SUBR) else instr.imm
+        return [(0b00011 << 11) | (_ADDSUB_SUB[op] << 9) | (field << 6)
+                | (instr.rn << 3) | instr.rd]
+    if op in _IMM8_MAJORS:
+        return [(_IMM8_MAJORS[op] << 11) | (instr.rd << 8) | instr.imm]
+    if op in ALU_INDEX:
+        return [(0b01000 << 11) | (ALU_INDEX[op] << 6)
+                | (instr.rm << 3) | instr.rd]
+    if op is Op.MOVR:
+        return [(0b01000 << 11) | (1 << 10) | (0 << 6)
+                | (instr.rm << 3) | instr.rd]
+    if op is Op.BX:
+        return [(0b01000 << 11) | (1 << 10) | (1 << 6) | (instr.rm & 0xF)]
+    if op in _PCADR_MAJORS:
+        imm = instr.imm
+        if instr.target is not None and op is Op.LDRPC:
+            base = (addr + 4) & ~3
+            delta = target_addr() - base
+            if delta < 0 or delta % 4:
+                raise EncodingError(
+                    f"literal at {target_addr():#x} not addressable from "
+                    f"{addr:#x}")
+            imm = delta
+        if imm is None:
+            raise EncodingError(f"{op.name} needs an offset or target")
+        if imm % 4 or not 0 <= imm <= 1020:
+            raise EncodingError(f"bad pc-relative offset {imm}")
+        return [(_PCADR_MAJORS[op] << 11) | (instr.rd << 8) | (imm // 4)]
+    if op in _STORE_R_SUB:
+        return [(0b01010 << 11) | (_STORE_R_SUB[op] << 9) | (instr.rm << 6)
+                | (instr.rn << 3) | instr.rd]
+    if op in _LOAD_R_SUB:
+        return [(0b01011 << 11) | (_LOAD_R_SUB[op] << 9) | (instr.rm << 6)
+                | (instr.rn << 3) | instr.rd]
+    if op in _MEM_I_MAJORS:
+        major, scale = _MEM_I_MAJORS[op]
+        return [(major << 11) | ((instr.imm // scale) << 6)
+                | (instr.rn << 3) | instr.rd]
+    if op in _SP_MAJORS:
+        return [(_SP_MAJORS[op] << 11) | (instr.rd << 8) | (instr.imm // 4)]
+    if op is Op.ADDSPI:
+        return [(0b10101 << 11) | (instr.rd << 8) | (instr.imm // 4)]
+    if op is Op.SPADJ:
+        words = abs(instr.imm) // 4
+        sign = 1 if instr.imm < 0 else 0
+        if words > 127:
+            raise EncodingError(f"sp adjustment too large: {instr.imm}")
+        return [(0b10110 << 11) | (sign << 7) | words]
+    if op in (Op.PUSH, Op.POP):
+        bits = 0
+        for reg in instr.reglist:
+            bits |= 1 << reg
+        load_bit = 1 if op is Op.POP else 0
+        m_bit = 1 if instr.with_link else 0
+        return [(0b10111 << 11) | (load_bit << 10) | (m_bit << 8) | bits]
+    if op is Op.SWI:
+        return [(0b11000 << 11) | instr.imm]
+    if op is Op.BCC:
+        off = (target_addr() - (addr + 4)) // 2
+        return [(0b1101 << 12) | (int(instr.cond) << 8)
+                | _fit_signed(off, 8, "conditional branch offset")]
+    if op is Op.B:
+        off = (target_addr() - (addr + 4)) // 2
+        return [(0b11100 << 11) | _fit_signed(off, 11, "branch offset")]
+    if op is Op.BL:
+        off = (target_addr() - (addr + 4)) // 2
+        bits = _fit_signed(off, 22, "call offset")
+        return [(0b11101 << 11) | ((bits >> 11) & 0x7FF),
+                (0b11110 << 11) | (bits & 0x7FF)]
+    if op is Op.NOP:
+        return [0b11111 << 11]
+    raise EncodingError(f"cannot encode op {op!r}")
+
+
+def decode(halfword: int, addr: int = 0, next_halfword=None) -> Instr:
+    """Decode one instruction starting with *halfword* at *addr*.
+
+    ``BL`` requires *next_halfword* (the suffix).  Branch targets come back
+    as resolved absolute addresses in :attr:`Instr.target`; pc-relative
+    loads get both ``imm`` (byte offset) and ``target`` (absolute literal
+    address).
+    """
+    if not 0 <= halfword <= 0xFFFF:
+        raise IllegalInstruction(halfword, addr)
+    major = halfword >> 11
+
+    if (halfword >> 12) == 0b1101:
+        cond_bits = (halfword >> 8) & 0xF
+        if cond_bits >= 14:
+            raise IllegalInstruction(halfword, addr)
+        off = _signed(halfword & 0xFF, 8) * 2
+        return Instr(Op.BCC, cond=Cond(cond_bits), target=addr + 4 + off)
+
+    if major in (0b00000, 0b00001, 0b00010):
+        op = (Op.LSLI, Op.LSRI, Op.ASRI)[major]
+        return Instr(op, rd=halfword & 7, rm=(halfword >> 3) & 7,
+                     imm=(halfword >> 6) & 31)
+    if major == 0b00011:
+        sub = (halfword >> 9) & 3
+        field = (halfword >> 6) & 7
+        rn = (halfword >> 3) & 7
+        rd = halfword & 7
+        if sub == 0:
+            return Instr(Op.ADDR, rd=rd, rn=rn, rm=field)
+        if sub == 1:
+            return Instr(Op.SUBR, rd=rd, rn=rn, rm=field)
+        if sub == 2:
+            return Instr(Op.ADD3, rd=rd, rn=rn, imm=field)
+        return Instr(Op.SUB3, rd=rd, rn=rn, imm=field)
+    if major in (0b00100, 0b00101, 0b00110, 0b00111):
+        op = (Op.MOVI, Op.CMPI, Op.ADDI, Op.SUBI)[major - 0b00100]
+        return Instr(op, rd=(halfword >> 8) & 7, imm=halfword & 0xFF)
+    if major == 0b01000:
+        if halfword & (1 << 10):
+            sub = (halfword >> 6) & 0xF
+            if sub == 0:
+                return Instr(Op.MOVR, rd=halfword & 7,
+                             rm=(halfword >> 3) & 7)
+            if sub == 1:
+                return Instr(Op.BX, rm=halfword & 0xF)
+            raise IllegalInstruction(halfword, addr)
+        sub = (halfword >> 6) & 0xF
+        return Instr(ALU_ORDER[sub], rd=halfword & 7,
+                     rm=(halfword >> 3) & 7)
+    if major == 0b01001:
+        offset = (halfword & 0xFF) * 4
+        return Instr(Op.LDRPC, rd=(halfword >> 8) & 7, imm=offset,
+                     target=((addr + 4) & ~3) + offset)
+    if major == 0b01010:
+        ops = (Op.STRW_R, Op.STRH_R, Op.STRB_R, Op.LDRSB_R)
+        return Instr(ops[(halfword >> 9) & 3], rd=halfword & 7,
+                     rn=(halfword >> 3) & 7, rm=(halfword >> 6) & 7)
+    if major == 0b01011:
+        ops = (Op.LDRW_R, Op.LDRH_R, Op.LDRB_R, Op.LDRSH_R)
+        return Instr(ops[(halfword >> 9) & 3], rd=halfword & 7,
+                     rn=(halfword >> 3) & 7, rm=(halfword >> 6) & 7)
+    if major in (m for m, _s in _MEM_I_MAJORS.values()):
+        for op, (m, scale) in _MEM_I_MAJORS.items():
+            if m == major:
+                return Instr(op, rd=halfword & 7, rn=(halfword >> 3) & 7,
+                             imm=((halfword >> 6) & 31) * scale)
+    if major in (0b10010, 0b10011):
+        op = Op.STRSP if major == 0b10010 else Op.LDRSP
+        return Instr(op, rd=(halfword >> 8) & 7, imm=(halfword & 0xFF) * 4)
+    if major == 0b10100:
+        offset = (halfword & 0xFF) * 4
+        return Instr(Op.ADDPC, rd=(halfword >> 8) & 7, imm=offset)
+    if major == 0b10101:
+        return Instr(Op.ADDSPI, rd=(halfword >> 8) & 7,
+                     imm=(halfword & 0xFF) * 4)
+    if major == 0b10110:
+        words = halfword & 0x7F
+        sign = -1 if halfword & (1 << 7) else 1
+        return Instr(Op.SPADJ, imm=sign * words * 4)
+    if major == 0b10111:
+        reglist = tuple(r for r in range(8) if halfword & (1 << r))
+        with_link = bool(halfword & (1 << 8))
+        op = Op.POP if halfword & (1 << 10) else Op.PUSH
+        return Instr(op, reglist=reglist, with_link=with_link)
+    if major == 0b11000:
+        return Instr(Op.SWI, imm=halfword & 0xFF)
+    if major == 0b11100:
+        off = _signed(halfword & 0x7FF, 11) * 2
+        return Instr(Op.B, target=addr + 4 + off)
+    if major == 0b11101:
+        if next_halfword is None or (next_halfword >> 11) != 0b11110:
+            raise IllegalInstruction(halfword, addr)
+        bits = ((halfword & 0x7FF) << 11) | (next_halfword & 0x7FF)
+        off = _signed(bits, 22) * 2
+        return Instr(Op.BL, target=addr + 4 + off)
+    if major == 0b11110:
+        raise IllegalInstruction(halfword, addr)  # stray BL suffix
+    if major == 0b11111:
+        if halfword == (0b11111 << 11):
+            return Instr(Op.NOP)
+        raise IllegalInstruction(halfword, addr)
+    raise IllegalInstruction(halfword, addr)

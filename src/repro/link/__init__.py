@@ -1,0 +1,10 @@
+"""Linking: relocatable memory objects -> loadable executable image."""
+
+from .objects import AccessNote, DataObject, FunctionCode, Program
+from .image import Image, PlacedObject
+from .linker import LinkError, link
+
+__all__ = [
+    "AccessNote", "DataObject", "FunctionCode", "Program",
+    "Image", "PlacedObject", "LinkError", "link",
+]

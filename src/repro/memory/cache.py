@@ -1,0 +1,184 @@
+"""Unified cache model (timing/tags only).
+
+The paper's experimental configuration is a **unified direct-mapped cache
+with four 32-bit words per line** in front of 16-bit main memory, as found
+in ARM7 family parts.  The model here generalises to set-associative LRU
+(used for the paper's "future work" ablation) with direct-mapped as
+associativity 1.
+
+The cache is *timing-only*: it tracks tags, not data.  With the modelled
+write-through / no-write-allocate policy, backing RAM is always current, so
+a tags-only model is cycle-exact while keeping the simulator simple.
+
+Policy summary:
+
+* read hit: :data:`~repro.memory.timing.CACHE_HIT_CYCLES` (1 cycle);
+* read miss: full line fill (4 words x 4 cycles = 16 cycles, Table 1);
+* write: write-through, no allocate — the store pays the main-memory cost
+  for its width; a write hit leaves the line resident (RAM is updated, so
+  tag contents stay valid), a write miss does not allocate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ReplacementPolicy:
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of a cache.
+
+    ``unified=True`` (the paper's experimental setup) caches instruction
+    fetches *and* data; ``unified=False`` models the instruction-only
+    cache named in the paper's future work — data bypasses the cache and
+    pays main-memory cost directly.
+    """
+
+    size: int
+    line_size: int = 16
+    assoc: int = 1
+    replacement: str = ReplacementPolicy.LRU
+    unified: bool = True
+
+    def __post_init__(self):
+        if self.size <= 0 or self.size % (self.line_size * self.assoc):
+            raise ValueError(
+                f"cache size {self.size} not divisible into "
+                f"{self.assoc}-way sets of {self.line_size}-byte lines")
+        if self.line_size & (self.line_size - 1):
+            raise ValueError("line size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.line_size * self.assoc)
+
+    def set_index(self, addr: int) -> int:
+        return (addr // self.line_size) % self.num_sets
+
+    def block_of(self, addr: int) -> int:
+        """Memory block number (line-granular address) of *addr*."""
+        return addr // self.line_size
+
+    def blocks_in_range(self, lo: int, hi: int):
+        """All memory blocks overlapping byte range [lo, hi)."""
+        if hi <= lo:
+            return range(0)
+        return range(lo // self.line_size, (hi - 1) // self.line_size + 1)
+
+    def describe(self) -> str:
+        ways = "direct mapped" if self.assoc == 1 else f"{self.assoc}-way"
+        kind = "unified" if self.unified else "instruction"
+        return (f"{self.size} B {kind} {ways} cache, "
+                f"{self.line_size} B lines, {self.replacement} replacement")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters split by access source."""
+
+    fetch_hits: int = 0
+    fetch_misses: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.fetch_hits + self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        return self.fetch_misses + self.read_misses + self.write_misses
+
+
+class Cache:
+    """Stateful tags-only cache following :class:`CacheConfig`.
+
+    ``RANDOM`` replacement is deterministic here (an LFSR victim counter),
+    mirroring how ARM7 implements its "random" policy with a cheap counter;
+    the paper notes random replacement mainly as an *analysis* obstacle.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        # Per set: list of tags, most-recently-used first (for LRU);
+        # insertion order (for FIFO).
+        self.sets = [[] for _ in range(config.num_sets)]
+        self.stats = CacheStats()
+        self._victim = 1  # LFSR state for RANDOM
+
+    def reset(self):
+        self.sets = [[] for _ in range(self.config.num_sets)]
+        self.stats = CacheStats()
+        self._victim = 1
+
+    # -- internals ----------------------------------------------------------
+
+    def _next_victim(self, ways: int) -> int:
+        # 8-bit Galois LFSR, deterministic and seed-independent of workload.
+        lfsr = self._victim
+        lfsr = (lfsr >> 1) ^ (0xB8 if lfsr & 1 else 0)
+        self._victim = lfsr or 1
+        return self._victim % ways
+
+    def _touch(self, addr: int, allocate: bool) -> bool:
+        """Look up *addr*; optionally allocate on miss.  Returns hit."""
+        config = self.config
+        block = config.block_of(addr)
+        index = config.set_index(addr)
+        ways = self.sets[index]
+        if block in ways:
+            if config.replacement == ReplacementPolicy.LRU:
+                ways.remove(block)
+                ways.insert(0, block)
+            return True
+        if allocate:
+            if len(ways) < config.assoc:
+                ways.insert(0, block)
+            elif config.replacement == ReplacementPolicy.RANDOM:
+                ways[self._next_victim(config.assoc)] = block
+            else:  # LRU and FIFO both evict the tail
+                ways.pop()
+                ways.insert(0, block)
+        return False
+
+    # -- public access operations -------------------------------------------
+
+    def fetch(self, addr: int) -> bool:
+        """Instruction fetch; returns hit and updates state/stats."""
+        hit = self._touch(addr, allocate=True)
+        if hit:
+            self.stats.fetch_hits += 1
+        else:
+            self.stats.fetch_misses += 1
+        return hit
+
+    def read(self, addr: int) -> bool:
+        """Data read; returns hit and updates state/stats."""
+        hit = self._touch(addr, allocate=True)
+        if hit:
+            self.stats.read_hits += 1
+        else:
+            self.stats.read_misses += 1
+        return hit
+
+    def write(self, addr: int) -> bool:
+        """Data write (write-through, no allocate); returns hit."""
+        hit = self._touch(addr, allocate=False)
+        if hit:
+            self.stats.write_hits += 1
+        else:
+            self.stats.write_misses += 1
+        return hit
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating lookup (for tests and assertions)."""
+        config = self.config
+        return config.block_of(addr) in self.sets[config.set_index(addr)]

@@ -1,0 +1,119 @@
+"""System configurations and the simulator-facing memory hierarchy.
+
+A :class:`SystemConfig` is one point in the paper's design space:
+
+* ``SystemConfig.scratchpad(n)`` — *n* bytes of SPM plus main memory
+  (the paper's left branch, Figure 1);
+* ``SystemConfig.cached(cfg)`` — main memory behind a unified cache
+  (the right branch);
+* ``SystemConfig.uncached()`` — main memory only (baseline / 0-byte SPM).
+
+:class:`MemoryHierarchy` turns a config into a stateful cycle model the
+simulator queries once per access.  The WCET analyser uses the same
+:class:`~repro.memory.timing.AccessTiming` constants and
+:class:`~repro.memory.cache.CacheConfig` geometry, so simulation and
+analysis share one machine model by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cache import Cache, CacheConfig
+from .regions import MemoryMap, RegionKind
+from .timing import CACHE_HIT_CYCLES, AccessTiming
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One memory-hierarchy configuration under study."""
+
+    name: str
+    spm_size: int = 0
+    cache: Optional[CacheConfig] = None
+    timing: AccessTiming = AccessTiming.table1()
+
+    def __post_init__(self):
+        if self.spm_size and self.cache is not None:
+            raise ValueError(
+                "the paper's systems have either a scratchpad or a cache")
+
+    @classmethod
+    def scratchpad(cls, spm_size: int, timing=None) -> "SystemConfig":
+        return cls(name=f"spm{spm_size}", spm_size=spm_size,
+                   timing=timing or AccessTiming.table1())
+
+    @classmethod
+    def cached(cls, cache: CacheConfig, timing=None) -> "SystemConfig":
+        return cls(name=f"cache{cache.size}", cache=cache,
+                   timing=timing or AccessTiming.table1())
+
+    @classmethod
+    def uncached(cls, timing=None) -> "SystemConfig":
+        return cls(name="uncached", timing=timing or AccessTiming.table1())
+
+    def memory_map(self) -> MemoryMap:
+        if self.spm_size:
+            return MemoryMap.with_spm(self.spm_size)
+        return MemoryMap.main_only()
+
+    def describe(self) -> str:
+        if self.spm_size:
+            return f"{self.spm_size} B scratchpad + main memory"
+        if self.cache is not None:
+            return self.cache.describe() + " + main memory"
+        return "main memory only"
+
+
+class MemoryHierarchy:
+    """Stateful per-access cycle model used by the simulator."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.memory_map = config.memory_map()
+        self.timing = config.timing
+        self.cache = Cache(config.cache) if config.cache else None
+        self._spm = self.memory_map.spm_region
+        self._miss_cycles = (
+            self.timing.line_fill_cycles(config.cache.line_size)
+            if config.cache else 0)
+
+    def reset(self):
+        if self.cache:
+            self.cache.reset()
+
+    def fetch_cycles(self, addr: int) -> int:
+        """Cycles for a 16-bit instruction fetch at *addr*."""
+        if self._spm is not None and self._spm.contains(addr):
+            return self.timing.cycles(RegionKind.SPM, 2)
+        if self.cache is not None:
+            if self.cache.fetch(addr):
+                return CACHE_HIT_CYCLES
+            return self._miss_cycles
+        return self.timing.cycles(RegionKind.MAIN, 2)
+
+    def read_cycles(self, addr: int, width: int) -> int:
+        """Cycles for a data read of *width* bytes at *addr*."""
+        if self._spm is not None and self._spm.contains(addr):
+            return self.timing.cycles(RegionKind.SPM, width)
+        if self.cache is not None and self.config.cache.unified:
+            if self.cache.read(addr):
+                return CACHE_HIT_CYCLES
+            return self._miss_cycles
+        return self.timing.cycles(RegionKind.MAIN, width)
+
+    def write_cycles(self, addr: int, width: int) -> int:
+        """Cycles for a data write of *width* bytes at *addr*."""
+        if self._spm is not None and self._spm.contains(addr):
+            return self.timing.cycles(RegionKind.SPM, width)
+        if self.cache is not None and self.config.cache.unified:
+            # Write-through, no allocate: pay the memory cost; keep tags
+            # informed so later reads of a resident line still hit.
+            self.cache.write(addr)
+            return self.timing.cycles(RegionKind.MAIN, width)
+        return self.timing.cycles(RegionKind.MAIN, width)
+
+    @property
+    def cache_stats(self):
+        return self.cache.stats if self.cache else None

@@ -1,0 +1,104 @@
+"""Memory map: address regions with distinct timing attributes.
+
+The modelled platform follows the paper's ATMEL AT91EB01-style layout:
+
+* an optional scratchpad (SPM) mapped at the bottom of the address space —
+  small, one cycle per access regardless of width;
+* main memory at :data:`MAIN_BASE` — 16-bit wide, so 8/16-bit accesses take
+  2 cycles and 32-bit accesses take 4 (Table 1);
+* the stack at the top of main memory.
+
+A system has either a scratchpad *or* a unified cache in front of main
+memory (the paper compares the two), which is captured by
+:class:`SystemConfig` in :mod:`repro.memory.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Base address of the scratchpad region (when present).
+SPM_BASE = 0x0000_0000
+
+#: Base address of main memory.
+MAIN_BASE = 0x0010_0000
+
+#: Size of main memory in bytes (1 MiB: benchmarks + stack fit easily).
+MAIN_SIZE = 0x0010_0000
+
+#: Initial stack pointer (top of main memory, grows downwards).
+STACK_TOP = MAIN_BASE + MAIN_SIZE
+
+
+class RegionKind:
+    """Region categories with distinct timing behaviour."""
+
+    SPM = "spm"
+    MAIN = "main"
+
+
+@dataclass(frozen=True)
+class Region:
+    """One contiguous address range with uniform attributes."""
+
+    name: str
+    base: int
+    size: int
+    kind: str
+
+    @property
+    def end(self) -> int:
+        """First address past the region."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+class MemoryMap:
+    """An ordered, non-overlapping set of regions."""
+
+    def __init__(self, regions):
+        self.regions = sorted(regions, key=lambda r: r.base)
+        for left, right in zip(self.regions, self.regions[1:]):
+            if left.overlaps(right):
+                raise ValueError(
+                    f"overlapping regions {left.name!r} and {right.name!r}")
+
+    @classmethod
+    def with_spm(cls, spm_size: int) -> "MemoryMap":
+        """Scratchpad system: SPM at 0, main memory above."""
+        regions = []
+        if spm_size:
+            regions.append(Region("scratchpad", SPM_BASE, spm_size,
+                                  RegionKind.SPM))
+        regions.append(Region("main", MAIN_BASE, MAIN_SIZE, RegionKind.MAIN))
+        return cls(regions)
+
+    @classmethod
+    def main_only(cls) -> "MemoryMap":
+        """Cache (or uncached) system: main memory only."""
+        return cls.with_spm(0)
+
+    def region_at(self, addr: int):
+        """Return the region containing *addr*, or None."""
+        for region in self.regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def kind_at(self, addr: int) -> str:
+        region = self.region_at(addr)
+        if region is None:
+            raise ValueError(f"access outside mapped memory: {addr:#x}")
+        return region.kind
+
+    @property
+    def spm_region(self):
+        for region in self.regions:
+            if region.kind == RegionKind.SPM:
+                return region
+        return None

@@ -1,0 +1,36 @@
+"""Mini-C: the benchmark implementation language and its compiler.
+
+Mini-C is the C subset the paper's benchmarks are written in here:
+
+* types: ``int`` (32-bit signed), ``unsigned`` (32-bit), ``short``
+  (16-bit signed), ``char`` (8-bit unsigned); 1-D global arrays of any of
+  these; ``const`` global arrays/scalars (read-only data);
+* pointers exist only as **function parameters** (``int a[]`` / ``int *a``)
+  and are read-only — this keeps the compiler's points-to facts exact,
+  which feeds the automated WCET access annotations;
+* statements: blocks, ``if``/``else``, ``while``, ``do``-``while``,
+  ``for``, ``break``, ``continue``, ``return``; declarations of scalar
+  locals (local arrays are not supported — make them global, which is also
+  what the paper's allocation granularity wants);
+* expressions: full C operator set including ``?:``, compound assignment
+  and casts; ``++``/``--`` desugar to assignments;
+* ``#pragma loopbound n`` annotates the maximal iteration count of the
+  following loop when the compiler cannot derive it (counted ``for`` loops
+  with constant bounds are derived automatically);
+* builtins: ``__print_int(x)``, ``__print_char(c)``;
+* ``/`` and ``%`` lower to a software division runtime (ARM7-style).
+
+The compiler emits one relocatable code object per function and one data
+object per global — the paper's "memory objects".
+"""
+
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse
+from .sema import SemaError, analyze
+from .codegen import CodegenError
+from .frontend import CompiledProgram, RUNTIME_SOURCE, compile_source
+
+__all__ = [
+    "LexError", "tokenize", "ParseError", "parse", "SemaError", "analyze",
+    "CodegenError", "CompiledProgram", "RUNTIME_SOURCE", "compile_source",
+]

@@ -1,0 +1,187 @@
+"""AST node definitions for mini-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class IntLit(Node):
+    value: int = 0
+    unsigned: bool = False
+    type: object = None
+
+
+@dataclass
+class VarRef(Node):
+    name: str = ""
+    # Filled by sema:
+    symbol: object = None
+    type: object = None
+
+
+@dataclass
+class Index(Node):
+    base: object = None     # VarRef (array or pointer)
+    index: object = None
+    type: object = None
+
+
+@dataclass
+class Call(Node):
+    name: str = ""
+    args: list = field(default_factory=list)
+    type: object = None
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""             # '-', '~', '!'
+    operand: object = None
+    type: object = None
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""             # + - * / % << >> & | ^ < <= > >= == != && ||
+    left: object = None
+    right: object = None
+    type: object = None
+    #: comparison/shift/divide signedness decided by sema
+    signed: bool = True
+
+
+@dataclass
+class Assign(Node):
+    target: object = None    # VarRef or Index
+    value: object = None
+    type: object = None
+
+
+@dataclass
+class Ternary(Node):
+    cond: object = None
+    then: object = None
+    other: object = None
+    type: object = None
+
+
+@dataclass
+class Cast(Node):
+    to: object = None        # ScalarType
+    operand: object = None
+    type: object = None
+
+
+# -- statements ----------------------------------------------------------------
+
+@dataclass
+class Block(Node):
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: object = None
+
+
+@dataclass
+class If(Node):
+    cond: object = None
+    then: object = None
+    other: object = None
+
+
+@dataclass
+class While(Node):
+    cond: object = None
+    body: object = None
+    pragma_bound: Optional[int] = None
+    pragma_total: Optional[int] = None
+    bound: Optional[int] = None        # back-edge bound per entry (sema)
+    bound_total: Optional[int] = None  # back-edge bound per invocation
+
+
+@dataclass
+class DoWhile(Node):
+    body: object = None
+    cond: object = None
+    pragma_bound: Optional[int] = None
+    pragma_total: Optional[int] = None
+    bound: Optional[int] = None
+    bound_total: Optional[int] = None
+
+
+@dataclass
+class For(Node):
+    init: object = None      # ExprStmt / LocalDecl / None
+    cond: object = None
+    update: object = None    # expression or None
+    body: object = None
+    pragma_bound: Optional[int] = None
+    pragma_total: Optional[int] = None
+    bound: Optional[int] = None
+    bound_total: Optional[int] = None
+
+
+@dataclass
+class Return(Node):
+    value: object = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class LocalDecl(Node):
+    name: str = ""
+    type: object = None
+    init: object = None
+    symbol: object = None
+
+
+# -- declarations -----------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type: object = None
+    symbol: object = None
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    ret_type: object = None
+    params: list = field(default_factory=list)
+    body: object = None       # Block
+    uses_division: bool = False
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    type: object = None       # ScalarType or ArrayType
+    init: object = None       # int, list of ints, or None
+    const: bool = False
+
+
+@dataclass
+class TranslationUnit(Node):
+    globals: list = field(default_factory=list)
+    functions: list = field(default_factory=list)

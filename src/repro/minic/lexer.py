@@ -1,0 +1,143 @@
+"""Lexer for mini-C, the benchmark implementation language.
+
+Mini-C is the C subset the benchmarks are written in (see
+:mod:`repro.minic` for the language definition).  The lexer additionally
+recognises ``#pragma loopbound <n>`` lines, which carry the user loop-bound
+annotations that the paper's aiT workflow requires for loops the tool
+cannot bound automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "int", "short", "char", "unsigned", "void", "const",
+    "if", "else", "while", "do", "for", "return", "break", "continue",
+}
+
+# Longest first so '>>=' wins over '>>' wins over '>'.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+
+class LexError(Exception):
+    def __init__(self, message, line):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # 'num' | 'ident' | 'kw' | 'op' | 'pragma' | 'eof'
+    text: str
+    line: int
+    value: int = 0
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list:
+    """Tokenise *source*; returns a list ending with an 'eof' token."""
+    tokens = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        char = source[i]
+        if char == "\n":
+            line += 1
+            i += 1
+            continue
+        if char in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i)
+            if end < 0:
+                raise LexError("unterminated comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if char == "#":
+            end = source.find("\n", i)
+            if end < 0:
+                end = n
+            directive = source[i:end].strip()
+            parts = directive.split()
+            if (len(parts) == 3 and parts[0] == "#pragma"
+                    and parts[1] in ("loopbound", "loopbound_total")):
+                try:
+                    bound = int(parts[2], 0)
+                except ValueError:
+                    raise LexError(
+                        f"bad loop bound {parts[2]!r}", line) from None
+                tokens.append(Token("pragma", parts[1], line, bound))
+            else:
+                raise LexError(f"unsupported directive {directive!r}", line)
+            i = end
+            continue
+        if char.isdigit():
+            j = i
+            if source.startswith(("0x", "0X"), i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            # Optional unsigned suffix.
+            if j < n and source[j] in "uU":
+                j += 1
+                tokens.append(Token("unum", source[i:j], line, value))
+            else:
+                tokens.append(Token("num", source[i:j], line, value))
+            i = j
+            continue
+        if char == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                escapes = {"n": 10, "t": 9, "0": 0, "r": 13,
+                           "\\": 92, "'": 39}
+                if j + 1 >= n or source[j + 1] not in escapes:
+                    raise LexError("bad escape in char literal", line)
+                value = escapes[source[j + 1]]
+                j += 2
+            elif j < n:
+                value = ord(source[j])
+                j += 1
+            if j >= n or source[j] != "'":
+                raise LexError("unterminated char literal", line)
+            tokens.append(Token("num", source[i:j + 1], line, value))
+            i = j + 1
+            continue
+        if char.isalpha() or char == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,410 @@
+"""Recursive-descent parser for mini-C.
+
+Grammar summary (see :mod:`repro.minic` for the language reference)::
+
+    unit      := (global | function)*
+    global    := ['const'] type name ('[' num ']')? ('=' init)? ';'
+    function  := type name '(' params ')' block
+    stmt      := block | if | while | do-while | for | return
+               | break; | continue; | decl | expr; | #pragma loopbound n
+    expr      := assignment with C operator precedence, ?:, casts,
+                 array indexing and calls
+
+``++``/``--`` are parsed as expressions but only valid where mini-C allows
+them (expression statements and for-loop updates); sema enforces this.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .lexer import Token, tokenize
+from .types import ArrayType, PointerType, scalar
+
+
+class ParseError(Exception):
+    def __init__(self, message, token: Token):
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+        self.token = token
+
+
+_TYPE_KEYWORDS = {"int", "unsigned", "short", "char", "void"}
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self, offset=0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def accept(self, kind, text=None):
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            self.pos += 1
+            return token
+        return None
+
+    def expect(self, kind, text=None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise ParseError(f"expected {want!r}", self.peek())
+        return token
+
+    def at_type(self) -> bool:
+        token = self.peek()
+        return token.kind == "kw" and token.text in _TYPE_KEYWORDS
+
+    # -- types -------------------------------------------------------------------
+
+    def parse_base_type(self):
+        token = self.expect("kw")
+        if token.text not in _TYPE_KEYWORDS:
+            raise ParseError("expected a type", token)
+        if token.text == "unsigned":
+            self.accept("kw", "int")
+            base = scalar("unsigned")
+        else:
+            base = scalar(token.text)
+        if self.accept("op", "*"):
+            if base.name == "void":
+                raise ParseError("void* is not supported", token)
+            return PointerType(base)
+        return base
+
+    # -- top level ------------------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(line=1)
+        while self.peek().kind != "eof":
+            is_const = bool(self.accept("kw", "const"))
+            start = self.peek()
+            base = self.parse_base_type()
+            name = self.expect("ident")
+            if self.peek().text == "(" and not is_const:
+                unit.functions.append(self.parse_function(base, name))
+            else:
+                unit.globals.append(
+                    self.parse_global(base, name, is_const, start))
+        return unit
+
+    def parse_global(self, base, name, is_const, start) -> ast.GlobalDecl:
+        if isinstance(base, PointerType):
+            raise ParseError("global pointers are not supported", start)
+        var_type = base
+        if self.accept("op", "["):
+            size_tok = self.expect("num")
+            self.expect("op", "]")
+            if size_tok.value <= 0:
+                raise ParseError("array size must be positive", size_tok)
+            var_type = ArrayType(base, size_tok.value)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_initializer(isinstance(var_type, ArrayType))
+        self.expect("op", ";")
+        return ast.GlobalDecl(line=start.line, name=name.text,
+                              type=var_type, init=init, const=is_const)
+
+    def parse_initializer(self, is_array):
+        if is_array:
+            self.expect("op", "{")
+            values = []
+            while not self.accept("op", "}"):
+                values.append(self.parse_const_int())
+                if not self.accept("op", ","):
+                    self.expect("op", "}")
+                    break
+            return values
+        return self.parse_const_int()
+
+    def parse_const_int(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        token = self.peek()
+        if token.kind not in ("num", "unum"):
+            raise ParseError("expected an integer constant", token)
+        self.next()
+        return -token.value if negative else token.value
+
+    def parse_function(self, ret_type, name) -> ast.FuncDecl:
+        self.expect("op", "(")
+        params = []
+        if not self.accept("op", ")"):
+            if (self.peek().kind == "kw" and self.peek().text == "void"
+                    and self.peek(1).text == ")"):
+                self.next()
+                self.expect("op", ")")
+            else:
+                while True:
+                    ptype = self.parse_base_type()
+                    pname = self.expect("ident")
+                    if self.accept("op", "["):
+                        self.expect("op", "]")
+                        if isinstance(ptype, PointerType):
+                            raise ParseError("pointer-to-pointer parameter",
+                                             pname)
+                        ptype = PointerType(ptype)
+                    params.append(ast.Param(line=pname.line,
+                                            name=pname.text, type=ptype))
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ")")
+        body = self.parse_block()
+        return ast.FuncDecl(line=name.line, name=name.text,
+                            ret_type=ret_type, params=params, body=body)
+
+    # -- statements ---------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        brace = self.expect("op", "{")
+        body = []
+        while not self.accept("op", "}"):
+            body.append(self.parse_stmt())
+        return ast.Block(line=brace.line, body=body)
+
+    def parse_stmt(self):
+        token = self.peek()
+        if token.kind == "pragma":
+            self.next()
+            loop = self.parse_stmt()
+            if isinstance(loop, (ast.While, ast.DoWhile, ast.For)):
+                if token.text == "loopbound_total":
+                    loop.pragma_total = token.value
+                else:
+                    loop.pragma_bound = token.value
+                return loop
+            raise ParseError("#pragma loopbound must precede a loop", token)
+        if token.text == "{":
+            return self.parse_block()
+        if token.kind == "kw":
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "while":
+                return self.parse_while()
+            if token.text == "do":
+                return self.parse_do()
+            if token.text == "for":
+                return self.parse_for()
+            if token.text == "return":
+                self.next()
+                value = None
+                if self.peek().text != ";":
+                    value = self.parse_expr()
+                self.expect("op", ";")
+                return ast.Return(line=token.line, value=value)
+            if token.text == "break":
+                self.next()
+                self.expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self.next()
+                self.expect("op", ";")
+                return ast.Continue(line=token.line)
+            if token.text in _TYPE_KEYWORDS or token.text == "const":
+                return self.parse_local_decl()
+        if self.accept("op", ";"):
+            return ast.Block(line=token.line, body=[])
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def parse_local_decl(self) -> ast.LocalDecl:
+        start = self.peek()
+        if start.text == "const":
+            raise ParseError("const locals are not supported", start)
+        base = self.parse_base_type()
+        name = self.expect("ident")
+        if self.peek().text == "[":
+            raise ParseError(
+                "local arrays are not supported; use a global", name)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return ast.LocalDecl(line=start.line, name=name.text,
+                             type=base, init=init)
+
+    def parse_if(self) -> ast.If:
+        token = self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_stmt()
+        other = None
+        if self.accept("kw", "else"):
+            other = self.parse_stmt()
+        return ast.If(line=token.line, cond=cond, then=then, other=other)
+
+    def parse_while(self) -> ast.While:
+        token = self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return ast.While(line=token.line, cond=cond, body=body)
+
+    def parse_do(self) -> ast.DoWhile:
+        token = self.expect("kw", "do")
+        body = self.parse_stmt()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(line=token.line, body=body, cond=cond)
+
+    def parse_for(self) -> ast.For:
+        token = self.expect("kw", "for")
+        self.expect("op", "(")
+        init = None
+        if self.at_type():
+            init = self.parse_local_decl()   # consumes ';'
+        elif not self.accept("op", ";"):
+            expr = self.parse_expr()
+            init = ast.ExprStmt(line=expr.line, expr=expr)
+            self.expect("op", ";")
+        cond = None
+        if self.peek().text != ";":
+            cond = self.parse_expr()
+        self.expect("op", ";")
+        update = None
+        if self.peek().text != ")":
+            update = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return ast.For(line=token.line, init=init, cond=cond,
+                       update=update, body=body)
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def parse_expr(self):
+        return self.parse_assignment()
+
+    def parse_assignment(self):
+        left = self.parse_ternary()
+        token = self.peek()
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()
+            if token.text != "=":
+                # Compound assignment desugars to target = target op value.
+                value = ast.Binary(line=token.line, op=token.text[:-1],
+                                   left=left, right=value)
+            return ast.Assign(line=token.line, target=left, value=value)
+        return left
+
+    def parse_ternary(self):
+        cond = self.parse_binary(1)
+        if self.accept("op", "?"):
+            then = self.parse_expr()
+            self.expect("op", ":")
+            other = self.parse_ternary()
+            return ast.Ternary(line=cond.line, cond=cond, then=then,
+                               other=other)
+        return cond
+
+    def parse_binary(self, min_prec):
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            prec = _PRECEDENCE.get(token.text) if token.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            right = self.parse_binary(prec + 1)
+            left = ast.Binary(line=token.line, op=token.text,
+                              left=left, right=right)
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "~", "!"):
+            self.next()
+            operand = self.parse_unary()
+            return ast.Unary(line=token.line, op=token.text, operand=operand)
+        if token.kind == "op" and token.text in ("++", "--"):
+            self.next()
+            target = self.parse_unary()
+            one = ast.IntLit(line=token.line, value=1)
+            op = "+" if token.text == "++" else "-"
+            return ast.Assign(line=token.line, target=target,
+                              value=ast.Binary(line=token.line, op=op,
+                                               left=target, right=one))
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.text == "[":
+                self.next()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(line=token.line, base=expr, index=index)
+            elif token.text == "(" and isinstance(expr, ast.VarRef):
+                self.next()
+                args = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                expr = ast.Call(line=token.line, name=expr.name, args=args)
+            elif token.text in ("++", "--"):
+                self.next()
+                one = ast.IntLit(line=token.line, value=1)
+                op = "+" if token.text == "++" else "-"
+                expr = ast.Assign(line=token.line, target=expr,
+                                  value=ast.Binary(line=token.line, op=op,
+                                                   left=expr, right=one))
+            else:
+                return expr
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind in ("num", "unum"):
+            self.next()
+            return ast.IntLit(line=token.line, value=token.value,
+                              unsigned=token.kind == "unum")
+        if token.kind == "ident":
+            self.next()
+            return ast.VarRef(line=token.line, name=token.text)
+        if token.text == "(":
+            # Cast or parenthesised expression.
+            if self.peek(1).kind == "kw" and \
+                    self.peek(1).text in _TYPE_KEYWORDS:
+                self.next()
+                to = self.parse_base_type()
+                self.expect("op", ")")
+                operand = self.parse_unary()
+                return ast.Cast(line=token.line, to=to, operand=operand)
+            self.next()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse mini-C *source* into an AST."""
+    return Parser(source).parse_unit()

@@ -1,0 +1,9 @@
+"""Instruction-set simulation (the ARMulator role in the paper's Figure 1)."""
+
+from .simulator import MemoryFault, SimError, SimResult, Simulator, simulate
+from .profile import ObjectProfile, ProgramProfile, build_profile
+
+__all__ = [
+    "MemoryFault", "SimError", "SimResult", "Simulator", "simulate",
+    "ObjectProfile", "ProgramProfile", "build_profile",
+]

@@ -1,0 +1,76 @@
+"""Knapsack solvers for scratchpad allocation.
+
+The paper formulates static allocation as a knapsack problem in ILP form
+and solves it with a commercial solver; :func:`solve_knapsack_ilp` does the
+same with :mod:`repro.ilp`.  :func:`solve_knapsack_dp` is an independent
+exact dynamic program used to cross-validate the ILP path in tests (both
+must agree on the optimal benefit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ilp import Model, Status
+
+
+@dataclass(frozen=True)
+class Item:
+    """One knapsack candidate (a memory object)."""
+
+    name: str
+    size: int
+    benefit: float
+
+
+class KnapsackError(Exception):
+    pass
+
+
+def solve_knapsack_ilp(items, capacity: int):
+    """0/1 knapsack via ILP: returns (chosen names, total benefit)."""
+    candidates = [it for it in items if it.benefit > 0 and
+                  it.size <= capacity]
+    if not candidates:
+        return set(), 0.0
+    model = Model("spm_knapsack", maximize=True)
+    xs = {it.name: model.add_var(f"y_{it.name}", lo=0, hi=1, integer=True)
+          for it in candidates}
+    model.add_le({xs[it.name]: it.size for it in candidates}, capacity)
+    model.set_objective({xs[it.name]: it.benefit for it in candidates})
+    solution = model.solve()
+    if solution.status != Status.OPTIMAL:
+        raise KnapsackError(f"knapsack ILP is {solution.status}")
+    chosen = {it.name for it in candidates
+              if round(solution[xs[it.name]]) == 1}
+    total = sum(it.benefit for it in candidates if it.name in chosen)
+    return chosen, total
+
+
+def solve_knapsack_dp(items, capacity: int, scale: int = 1000):
+    """0/1 knapsack via dynamic programming over capacities.
+
+    Benefits are floats; they are scaled to integers for exactness of the
+    DP table comparisons (ties resolved identically to the ILP's optimum
+    value up to 1/scale).
+    """
+    candidates = [it for it in items if it.benefit > 0 and
+                  it.size <= capacity]
+    best = [0] * (capacity + 1)
+    keep = [[False] * (capacity + 1) for _ in candidates]
+    for index, item in enumerate(candidates):
+        weight = item.size
+        value = round(item.benefit * scale)
+        for cap in range(capacity, weight - 1, -1):
+            candidate_value = best[cap - weight] + value
+            if candidate_value > best[cap]:
+                best[cap] = candidate_value
+                keep[index][cap] = True
+    chosen = set()
+    cap = capacity
+    for index in range(len(candidates) - 1, -1, -1):
+        if keep[index][cap]:
+            chosen.add(candidates[index].name)
+            cap -= candidates[index].size
+    total = sum(it.benefit for it in candidates if it.name in chosen)
+    return chosen, total

@@ -1,0 +1,128 @@
+"""WCET-driven scratchpad allocation (the paper's future-work proposal).
+
+Section 5 of the paper proposes replacing the *energy* cost function with
+one that places objects "that lie on the critical path" onto the fast
+memory, to optimise the WCET bound directly.  This module implements that
+idea as a one-shot analysis:
+
+1. analyse the all-in-main-memory layout to get worst-case execution
+   counts of every basic block (IPET's critical-path solution);
+2. price each memory object by the *cycles* the worst-case path would save
+   if the object moved to the scratchpad (fetches: Table-1 main vs. SPM at
+   16 bit; literal-pool loads and data accesses at their widths);
+3. solve the same knapsack, but with cycle benefits.
+
+Because moving objects can shift the critical path, the result is a
+heuristic (the benefit is an upper estimate priced on the *old* critical
+path) — but each step is exact, and re-analysis after placement always
+yields a safe bound; the experiment (ablation A2) compares it against the
+energy-driven allocation of the main flow.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import LOAD_WIDTH, STORE_WIDTH, Op
+from ..link.linker import link
+from ..link.objects import Program
+from ..memory.hierarchy import SystemConfig
+from ..memory.regions import RegionKind
+from ..memory.timing import AccessTiming
+from ..wcet.analyzer import analyze_wcet
+from .allocator import Allocation
+from .knapsack import Item, solve_knapsack_ilp
+
+
+def _worst_case_invocations(result):
+    """Function -> worst-case number of invocations, from IPET counts."""
+    invocations = {result.entry: 1}
+    # Top-down: callers before callees.
+    order = []
+    seen = set()
+
+    def visit(name):
+        if name in seen:
+            return
+        seen.add(name)
+        order.append(name)
+        cfg = result.cfgs[name]
+        entry_by_addr = {c.entry: n for n, c in result.cfgs.items()}
+        for block in cfg.blocks.values():
+            if block.call_target is not None:
+                visit(entry_by_addr[block.call_target])
+
+    visit(result.entry)
+    entry_by_addr = {c.entry: n for n, c in result.cfgs.items()}
+    for name in order:
+        cfg = result.cfgs[name]
+        count_self = invocations.get(name, 0)
+        for baddr, block in cfg.blocks.items():
+            if block.call_target is None:
+                continue
+            callee = entry_by_addr[block.call_target]
+            executions = result.block_counts[name].get(baddr, 0)
+            invocations[callee] = invocations.get(callee, 0) + \
+                count_self * executions
+    return invocations
+
+
+def wcet_cycle_benefits(image, result, timing: AccessTiming = None):
+    """Cycle-saving estimate per object if moved to the scratchpad."""
+    timing = timing or AccessTiming.table1()
+    fetch_delta = timing.cycles(RegionKind.MAIN, 2) - \
+        timing.cycles(RegionKind.SPM, 2)
+    width_delta = {w: timing.cycles(RegionKind.MAIN, w) -
+                   timing.cycles(RegionKind.SPM, w) for w in (1, 2, 4)}
+
+    invocations = _worst_case_invocations(result)
+    benefits = {}
+
+    def add(name, cycles):
+        benefits[name] = benefits.get(name, 0) + cycles
+
+    for fname, cfg in result.cfgs.items():
+        scale = invocations.get(fname, 0)
+        if scale == 0:
+            continue
+        counts = result.block_counts[fname]
+        for baddr, block in cfg.blocks.items():
+            executions = counts.get(baddr, 0) * scale
+            if executions == 0:
+                continue
+            for addr, instr in block.instrs:
+                add(fname, executions * fetch_delta * (instr.size // 2))
+                if instr.op is Op.LDRPC:
+                    # Literal pool access: moves with the function object.
+                    add(fname, executions * width_delta[4])
+                    continue
+                width = LOAD_WIDTH.get(instr.op) or STORE_WIDTH.get(
+                    instr.op)
+                if width is None:
+                    continue
+                note = image.access_notes.get(addr)
+                if note is None or note.stack or len(note.targets) != 1:
+                    continue  # stack or ambiguous: no attributable gain
+                symbol, _lo, _hi = note.targets[0]
+                add(symbol, executions * width_delta[width])
+    return benefits
+
+
+def allocate_wcet_driven(program: Program, spm_size: int,
+                         entry: str = "_start") -> Allocation:
+    """Pick SPM contents to minimise the WCET bound (one-shot heuristic)."""
+    if spm_size <= 0:
+        return Allocation(spm_size=spm_size, method="wcet")
+    baseline_image = link(program, spm_size=0)
+    baseline = analyze_wcet(baseline_image, SystemConfig.uncached(),
+                            entry=entry)
+    benefits = wcet_cycle_benefits(baseline_image, baseline)
+
+    items = []
+    for name, kind, size in program.memory_objects():
+        benefit = benefits.get(name, 0)
+        if benefit > 0:
+            items.append(Item(name=name, size=(size + 3) & ~3,
+                              benefit=benefit))
+    chosen, benefit = solve_knapsack_ilp(items, spm_size)
+    used = sum(it.size for it in items if it.name in chosen)
+    return Allocation(spm_size=spm_size, objects=chosen, benefit=benefit,
+                      used_bytes=used, method="wcet")

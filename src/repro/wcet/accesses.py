@@ -1,0 +1,94 @@
+"""Static resolution of data accesses for the WCET analyser.
+
+For each memory-touching instruction this module derives *where* the access
+can go, combining:
+
+* decoder facts (PC-relative literal loads carry their absolute address);
+* sp-relative opcodes (LDRSP/STRSP/PUSH/POP -> the analysed stack range);
+* compiler access notes resolved against the linker map — the automated
+  version of the paper's "range of possible addresses for array accesses"
+  annotations.
+
+The result is a :class:`DataAccess` consumed by both the timing model
+(region lookup for scratchpad systems) and the cache analysis (which
+blocks/sets an access can touch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.opcodes import LOAD_WIDTH, STORE_WIDTH, Op
+from ..link.image import Image
+
+
+@dataclass(frozen=True)
+class DataAccess:
+    """Static description of one instruction's data traffic.
+
+    *ranges* is a tuple of ``(lo, hi)`` absolute byte ranges: the access
+    touches exactly one address inside one of the ranges.  ``exact`` is
+    set when the range pins a single address.  ``count`` > 1 models
+    PUSH/POP word sequences (each word may touch any address in range —
+    in practice the stack range).  ``unknown`` means no information.
+    """
+
+    width: int
+    is_write: bool
+    ranges: tuple = ()
+    exact: bool = False
+    count: int = 1
+    unknown: bool = False
+
+    @property
+    def address(self) -> int:
+        assert self.exact
+        return self.ranges[0][0]
+
+
+def resolve_data_access(instr, addr: int, image: Image, stack_range):
+    """Return a :class:`DataAccess` for *instr* at *addr*, or None."""
+    op = instr.op
+
+    if op is Op.LDRPC:
+        literal = ((addr + 4) & ~3) + instr.imm
+        return DataAccess(width=4, is_write=False,
+                          ranges=((literal, literal + 4),), exact=True)
+
+    if op in (Op.LDRSP, Op.STRSP):
+        return DataAccess(width=4, is_write=op is Op.STRSP,
+                          ranges=(stack_range,))
+
+    if op in (Op.PUSH, Op.POP):
+        regs = len(instr.reglist) + (1 if instr.with_link else 0)
+        if regs == 0:
+            return None
+        return DataAccess(width=4, is_write=op is Op.PUSH,
+                          ranges=(stack_range,), count=regs)
+
+    load_width = LOAD_WIDTH.get(op)
+    store_width = STORE_WIDTH.get(op)
+    if load_width is None and store_width is None:
+        return None
+    width = load_width or store_width
+    is_write = store_width is not None
+
+    note = image.access_notes.get(addr)
+    if note is None:
+        return DataAccess(width=width, is_write=is_write, unknown=True)
+    if note.stack:
+        return DataAccess(width=width, is_write=is_write,
+                          ranges=(stack_range,))
+    if not note.targets:
+        return DataAccess(width=width, is_write=is_write, unknown=True)
+
+    ranges = []
+    for symbol, lo, hi in note.targets:
+        base = image.symbols.get(symbol)
+        if base is None:
+            return DataAccess(width=width, is_write=is_write, unknown=True)
+        ranges.append((base + lo, base + hi))
+    exact = (len(ranges) == 1
+             and ranges[0][1] - ranges[0][0] == width)
+    return DataAccess(width=width, is_write=is_write,
+                      ranges=tuple(ranges), exact=exact)

@@ -1,0 +1,164 @@
+"""The WCET analyser driver (the aiT role in the paper's Figure 1).
+
+Pipeline, mirroring the separated cache/path architecture the paper cites
+(Ferdinand et al.):
+
+1. CFG reconstruction from the linked binary;
+2. stack-depth analysis (bounds sp-relative accesses);
+3. for cached systems: interprocedural MUST cache analysis
+   (+ optional persistence); for scratchpad systems **nothing** — region
+   timing suffices, which is the paper's central observation;
+4. bottom-up per-function IPET (callee WCETs fold into call sites;
+   recursion is rejected);
+5. the program WCET is the entry function's bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.opcodes import Op
+from ..link.image import Image
+from ..memory.hierarchy import SystemConfig
+from .accesses import resolve_data_access
+from .cacheanalysis import FM, CacheAnalysis
+from .cfg import build_all_cfgs
+from .costmodel import CostModel
+from .ipet import solve_function_ipet
+from .loops import resolve_bounds
+from .stackdepth import stack_region
+
+
+class WCETError(Exception):
+    pass
+
+
+@dataclass
+class WCETResult:
+    """Outcome of a whole-program WCET analysis."""
+
+    wcet: int
+    config: SystemConfig
+    per_function: dict = field(default_factory=dict)
+    stack_range: tuple = (0, 0)
+    cache_result: object = None
+    #: entry function analysed (usually ``_start``)
+    entry: str = "_start"
+    #: function -> {block addr -> executions per function invocation on
+    #: the critical path} (consumed by the WCET-driven allocator)
+    block_counts: dict = field(default_factory=dict)
+    #: reconstructed CFGs (function name -> FunctionCFG)
+    cfgs: dict = field(default_factory=dict)
+
+    def report(self) -> str:
+        lines = [f"WCET({self.entry}) = {self.wcet} cycles "
+                 f"[{self.config.describe()}]"]
+        for name, wcet in sorted(self.per_function.items(),
+                                 key=lambda kv: -kv[1]):
+            lines.append(f"  {name:24} {wcet:>12}")
+        return "\n".join(lines)
+
+
+def _call_order(cfgs, entry_by_addr, entry: str):
+    """Bottom-up (callees first) topological order of the call graph."""
+    order = []
+    seen = set()
+
+    def visit(name, stack):
+        if name in seen:
+            return
+        if name in stack:
+            raise WCETError(f"recursive call chain through {name!r}")
+        stack.add(name)
+        for callee_addr in cfgs[name].calls:
+            callee = entry_by_addr.get(callee_addr)
+            if callee is None:
+                raise WCETError(
+                    f"{name!r} calls unknown address {callee_addr:#x}")
+            visit(callee, stack)
+        stack.discard(name)
+        seen.add(name)
+        order.append(name)
+
+    visit(entry, set())
+    return order
+
+
+def analyze_wcet(image: Image, config: SystemConfig, entry: str = "_start",
+                 persistence: bool = False) -> WCETResult:
+    """Compute a safe WCET bound for *image* under *config*.
+
+    *persistence* enables the optional first-miss cache analysis
+    (the paper's "full aiT" ablation); it has no effect on scratchpad or
+    uncached systems.
+    """
+    cfgs = build_all_cfgs(image)
+    entry_by_addr = {cfg.entry: name for name, cfg in cfgs.items()}
+    if entry not in cfgs:
+        raise WCETError(f"no function named {entry!r} in the image")
+
+    stack_rng = stack_region(cfgs, entry, entry_by_addr)
+
+    cache_result = None
+    if config.cache is not None:
+        analysis = CacheAnalysis(image, cfgs, config.cache, stack_rng,
+                                 entry, persistence=persistence)
+        cache_result = analysis.run()
+
+    data_accesses = {}
+    for cfg in cfgs.values():
+        for block in cfg.blocks.values():
+            for addr, instr in block.instrs:
+                data_accesses[addr] = resolve_data_access(
+                    instr, addr, image, stack_rng)
+
+    costs = CostModel(config, data_accesses, cache_result)
+
+    per_function = {}
+    block_counts = {}
+    for name in _call_order(cfgs, entry_by_addr, entry):
+        cfg = cfgs[name]
+        loops = resolve_bounds(cfg, image.loop_bounds, image.loop_totals)
+        block_costs = {}
+        edge_extras = {}
+        fm_lines = {}  # scope header -> set of first-miss lines
+        for baddr, block in cfg.blocks.items():
+            total = 0
+            for addr, instr in block.instrs:
+                base, taken_extra = costs.instr_cost(addr, instr)
+                total += base
+                if taken_extra:
+                    if len(block.succs) >= 2:
+                        edge_extras[(baddr, block.succs[0])] = taken_extra
+                    else:
+                        total += taken_extra  # degenerate bcc
+                if cache_result is not None:
+                    entry_class = cache_result.classes.get(addr)
+                    if entry_class is not None and entry_class.fetch == FM:
+                        fm_lines.setdefault(
+                            entry_class.fetch_scope, set()).add(
+                            config.cache.block_of(addr))
+            if block.call_target is not None:
+                callee = entry_by_addr[block.call_target]
+                total += per_function[callee]
+            block_costs[baddr] = total
+
+        scope_penalties = {
+            header: len(lines) * costs.fetch_miss_penalty(0)
+            for header, lines in fm_lines.items()
+        }
+        result = solve_function_ipet(cfg, block_costs, edge_extras, loops,
+                                     scope_penalties)
+        per_function[name] = result.wcet
+        block_counts[name] = result.block_counts
+
+    return WCETResult(
+        wcet=per_function[entry],
+        config=config,
+        per_function=per_function,
+        stack_range=stack_rng,
+        cache_result=cache_result,
+        entry=entry,
+        block_counts=block_counts,
+        cfgs=cfgs,
+    )

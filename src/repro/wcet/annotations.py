@@ -1,0 +1,190 @@
+"""aiT-style annotation files (the paper's Figure 2).
+
+The paper's workflow feeds the WCET tool a configuration file describing
+memory areas (address range, cycles per access, waitstates, attributes),
+plus loop bounds and possible address ranges for array accesses — all
+"automated using information from the simulator and from the linker".
+
+This module generates exactly that artefact from a linked image:
+
+* one ``MEMORY-AREA`` per scratchpad/main region, with the Table-1 cycle
+  counts; code objects are split into instruction ranges (16-bit, 2
+  cycles from main memory) and literal pools (32-bit read-only data,
+  4 cycles), as in Figure 2;
+* ``LOOP-BOUND`` lines for every flow fact;
+* ``ACCESS`` lines for every load/store with a known target range.
+
+The analyser itself consumes the same linker facts directly; the file
+format exists to reproduce the paper's artefact and for interoperability
+tests (it parses back losslessly via :func:`parse_annotations`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..link.image import Image
+from ..memory.hierarchy import SystemConfig
+from ..memory.regions import RegionKind
+from .cfg import build_all_cfgs
+
+
+@dataclass(frozen=True)
+class MemoryArea:
+    lo: int
+    hi: int              # inclusive, as in aiT annotation files
+    cycles: int
+    attributes: tuple    # e.g. ("READ-ONLY", "CODE-ONLY")
+    comment: str = ""
+
+
+@dataclass
+class AnnotationSet:
+    areas: list = field(default_factory=list)
+    loop_bounds: dict = field(default_factory=dict)   # addr -> bound
+    accesses: dict = field(default_factory=dict)      # addr -> tuple ranges
+
+
+def _pool_ranges(image: Image, cfgs):
+    """Byte ranges inside code objects not covered by instructions."""
+    pools = []
+    for obj in image.code_objects:
+        covered = set()
+        cfg = cfgs[obj.name]
+        for block in cfg.blocks.values():
+            for addr, instr in block.instrs:
+                for offset in range(0, instr.size, 2):
+                    covered.add(addr + offset)
+        cursor = obj.base
+        while cursor < obj.end:
+            if cursor in covered:
+                cursor += 2
+                continue
+            start = cursor
+            while cursor < obj.end and cursor not in covered:
+                cursor += 2
+            pools.append((obj.name, start, cursor))
+    return pools
+
+
+def generate_annotations(image: Image, config: SystemConfig) -> AnnotationSet:
+    """Build the annotation set for *image* under *config*."""
+    cfgs = build_all_cfgs(image)
+    timing = config.timing
+    annos = AnnotationSet()
+
+    def cycles(kind, width):
+        return timing.cycles(kind, width)
+
+    if config.spm_size:
+        annos.areas.append(MemoryArea(
+            lo=0, hi=config.spm_size - 1,
+            cycles=cycles(RegionKind.SPM, 4),
+            attributes=("READ-WRITE",),
+            comment="Scratchpad"))
+
+    pool_by_obj = {}
+    for name, lo, hi in _pool_ranges(image, cfgs):
+        pool_by_obj.setdefault(name, []).append((lo, hi))
+
+    for obj in sorted(image.objects, key=lambda o: o.base):
+        if obj.region == "scratchpad":
+            continue  # covered by the scratchpad area
+        if obj.kind == "code":
+            pool_ranges = pool_by_obj.get(obj.name, [])
+            cursor = obj.base
+            for lo, hi in sorted(pool_ranges):
+                if cursor < lo:
+                    annos.areas.append(MemoryArea(
+                        lo=cursor, hi=lo - 1,
+                        cycles=cycles(RegionKind.MAIN, 2),
+                        attributes=("READ-ONLY", "CODE-ONLY"),
+                        comment=f"Instructions {obj.name}"))
+                annos.areas.append(MemoryArea(
+                    lo=lo, hi=hi - 1,
+                    cycles=cycles(RegionKind.MAIN, 4),
+                    attributes=("READ-ONLY", "DATA-ONLY"),
+                    comment=f"Literal pool {obj.name}"))
+                cursor = hi
+            if cursor < obj.end:
+                annos.areas.append(MemoryArea(
+                    lo=cursor, hi=obj.end - 1,
+                    cycles=cycles(RegionKind.MAIN, 2),
+                    attributes=("READ-ONLY", "CODE-ONLY"),
+                    comment=f"Instructions {obj.name}"))
+        else:
+            attrs = ("READ-ONLY", "DATA-ONLY") if obj.readonly else \
+                ("READ-WRITE", "DATA-ONLY")
+            annos.areas.append(MemoryArea(
+                lo=obj.base, hi=obj.end - 1,
+                cycles=cycles(RegionKind.MAIN, obj.element_width),
+                attributes=attrs,
+                comment=f"{obj.name} (array of "
+                        f"{8 * obj.element_width} bit)"))
+
+    annos.loop_bounds = dict(image.loop_bounds)
+    for addr, note in sorted(image.access_notes.items()):
+        if note.stack or not note.targets:
+            continue
+        resolved = []
+        for symbol, lo, hi in note.targets:
+            base = image.symbols[symbol]
+            resolved.append((base + lo, base + hi))
+        annos.accesses[addr] = tuple(resolved)
+    return annos
+
+
+def format_annotations(annos: AnnotationSet) -> str:
+    """Render an annotation set in the paper's Figure-2 style."""
+    lines = []
+    comment = None
+    for area in annos.areas:
+        if area.comment != comment:
+            lines.append(f"# {area.comment}")
+            comment = area.comment
+        attrs = " ".join(area.attributes)
+        lines.append(
+            f"MEMORY-AREA: {area.lo:#010x} {area.hi:#010x} "
+            f"{area.cycles} {attrs}")
+    if annos.loop_bounds:
+        lines.append("# Flow facts")
+        for addr, bound in sorted(annos.loop_bounds.items()):
+            lines.append(f"LOOP-BOUND: {addr:#010x} {bound}")
+    if annos.accesses:
+        lines.append("# Data access ranges")
+        for addr, ranges in sorted(annos.accesses.items()):
+            spans = " ".join(f"{lo:#010x}..{hi:#010x}" for lo, hi in ranges)
+            lines.append(f"ACCESS: {addr:#010x} {spans}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_annotations(text: str) -> AnnotationSet:
+    """Parse :func:`format_annotations` output back (round-trip tested)."""
+    annos = AnnotationSet()
+    comment = ""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            comment = line[1:].strip()
+            continue
+        key, rest = line.split(":", 1)
+        fields = rest.split()
+        if key == "MEMORY-AREA":
+            lo, hi, cycles = (int(fields[0], 0), int(fields[1], 0),
+                              int(fields[2]))
+            annos.areas.append(MemoryArea(
+                lo=lo, hi=hi, cycles=cycles,
+                attributes=tuple(fields[3:]), comment=comment))
+        elif key == "LOOP-BOUND":
+            annos.loop_bounds[int(fields[0], 0)] = int(fields[1])
+        elif key == "ACCESS":
+            ranges = []
+            for span in fields[1:]:
+                lo_text, hi_text = span.split("..")
+                ranges.append((int(lo_text, 0), int(hi_text, 0)))
+            annos.accesses[int(fields[0], 0)] = tuple(ranges)
+        else:
+            raise ValueError(f"unknown annotation line: {line!r}")
+    return annos

@@ -1,0 +1,430 @@
+"""Abstract-interpretation cache analysis (Ferdinand-style MUST analysis).
+
+This is the analyser the paper attributes to aiT's cache module — with the
+same restriction its experimental ARM7 version had: a **MUST analysis
+only** (guaranteed cache contents), without MAY or persistence.  An
+optional scope-based persistence analysis is provided as the paper's
+"full cache analysis would improve things" ablation.
+
+Domain: per cache set, a map ``memory block -> maximal LRU age`` with at
+most ``assoc`` entries.  A block in the map is *guaranteed* resident.
+Join is intersection with per-block maximum age (classic must-join).
+
+Transfer per access:
+
+* known address: the block moves to age 0; blocks younger than its old age
+  (or all, if it was absent) age by one; age >= assoc evicts;
+* address range (arrays with unknown index, stack accesses): every
+  possibly-touched set ages by one — reads may insert an unknown block;
+* writes are write-through/no-allocate: a known write refreshes a resident
+  block but never allocates; an unknown write can only reshuffle recency,
+  which ages conservatively without evicting.
+
+The analysis runs over the interprocedural CFG (call and return edges,
+context-insensitive), then a classification pass labels every fetch and
+every data read as always-hit (AH) / not-classified (NC), plus first-miss
+(FM) with a loop scope when persistence is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.opcodes import Op
+from ..memory.cache import CacheConfig
+from .accesses import resolve_data_access
+from .cfg import FunctionCFG
+
+
+# --------------------------------------------------------------------------
+# Abstract must-cache state
+# --------------------------------------------------------------------------
+
+class MustCache:
+    """Per-set ``block -> max age`` maps; absence means "not guaranteed"."""
+
+    __slots__ = ("config", "sets")
+
+    def __init__(self, config: CacheConfig, sets=None):
+        self.config = config
+        self.sets = sets if sets is not None else {}
+
+    def copy(self) -> "MustCache":
+        return MustCache(self.config,
+                         {s: dict(ages) for s, ages in self.sets.items()})
+
+    def __eq__(self, other):
+        return self.sets == other.sets
+
+    # -- transfer -----------------------------------------------------------
+
+    def access_block(self, block: int, allocate=True):
+        """A definite access to *block* (read, or write hit refresh)."""
+        config = self.config
+        index = (block % config.num_sets)
+        ages = self.sets.get(index)
+        if ages is None:
+            if not allocate:
+                return
+            ages = self.sets[index] = {}
+        old_age = ages.get(block)
+        if old_age is None:
+            if not allocate:
+                # Write miss, no allocation: recency may shift arbitrarily
+                # among resident blocks -> age everyone, no eviction.
+                for other in ages:
+                    ages[other] = min(ages[other] + 1, config.assoc - 1)
+                return
+            threshold = config.assoc  # everyone ages
+        else:
+            threshold = old_age
+        for other, age in list(ages.items()):
+            if other != block and age < threshold:
+                new_age = age + 1
+                if new_age >= config.assoc:
+                    del ages[other]
+                else:
+                    ages[other] = new_age
+        ages[block] = 0
+
+    def age_set(self, index: int, evict=True):
+        """An unknown access may touch set *index*: age everything."""
+        ages = self.sets.get(index)
+        if not ages:
+            return
+        for block, age in list(ages.items()):
+            new_age = age + 1
+            if evict and new_age >= self.config.assoc:
+                del ages[block]
+            else:
+                ages[block] = min(new_age, self.config.assoc - 1)
+        if not ages:
+            del self.sets[index]
+
+    def contains(self, block: int) -> bool:
+        index = block % self.config.num_sets
+        return block in self.sets.get(index, ())
+
+    def join_with(self, other: "MustCache") -> bool:
+        """In-place must-join (intersection, max age); True if changed."""
+        changed = False
+        for index in list(self.sets):
+            ages = self.sets[index]
+            other_ages = other.sets.get(index, {})
+            for block in list(ages):
+                if block not in other_ages:
+                    del ages[block]
+                    changed = True
+                elif other_ages[block] > ages[block]:
+                    ages[block] = other_ages[block]
+                    changed = True
+            if not ages:
+                del self.sets[index]
+        return changed
+
+
+# --------------------------------------------------------------------------
+# Classification results
+# --------------------------------------------------------------------------
+
+AH = "always-hit"
+NC = "not-classified"
+FM = "first-miss"     # persistence: miss once per scope entry
+
+
+@dataclass
+class AccessClass:
+    """Classification of one instruction's memory behaviour."""
+
+    fetch: str = NC
+    #: classification of the data read (None when the op reads nothing)
+    data: str = None
+    #: loop-header addr of the persistence scope for FM fetches
+    fetch_scope: int = None
+
+
+@dataclass
+class CacheAnalysisResult:
+    config: CacheConfig
+    #: instruction addr -> AccessClass
+    classes: dict = field(default_factory=dict)
+
+    def fetch_class(self, addr) -> str:
+        entry = self.classes.get(addr)
+        return entry.fetch if entry else NC
+
+    def data_class(self, addr) -> str:
+        entry = self.classes.get(addr)
+        return entry.data if entry else NC
+
+    def count(self, kind) -> int:
+        total = 0
+        for entry in self.classes.values():
+            total += entry.fetch == kind
+            total += entry.data == kind
+        return total
+
+
+# --------------------------------------------------------------------------
+# Interprocedural fixpoint + classification
+# --------------------------------------------------------------------------
+
+class CacheAnalysis:
+    """MUST (+ optional persistence) analysis over the whole program."""
+
+    def __init__(self, image, cfgs: dict, config: CacheConfig,
+                 stack_range, entry_name: str, persistence=False):
+        self.image = image
+        self.cfgs = cfgs
+        self.config = config
+        self.stack_range = stack_range
+        self.entry_name = entry_name
+        self.persistence = persistence
+        self._entry_by_addr = {cfg.entry: name
+                               for name, cfg in cfgs.items()}
+        # Pre-resolve every instruction's data access and compile it to a
+        # cheap "plan" so the fixpoint loop never re-derives address sets.
+        self._data = {}
+        self._plan = {}
+        self._read_blocks = {}   # addr -> blocks that must all hit for AH
+        for cfg in cfgs.values():
+            for block in cfg.blocks.values():
+                for addr, instr in block.instrs:
+                    access = resolve_data_access(
+                        instr, addr, image, stack_range)
+                    self._data[addr] = access
+                    self._plan[addr] = self._compile_plan(access)
+                    self._read_blocks[addr] = self._compile_read(access)
+
+    def _compile_plan(self, access):
+        """Compile a DataAccess into (kind, payload) steps for transfer."""
+        if access is None:
+            return None
+        if not self.config.unified:
+            return None  # instruction cache: data never touches it
+        if access.unknown:
+            return ("allsets", not access.is_write, access.count)
+        if access.exact:
+            block = self.config.block_of(access.address)
+            return ("wblock" if access.is_write else "rblock", block, 1)
+        blocks = set()
+        for lo, hi in access.ranges:
+            blocks.update(self._blocks_of_range(lo, hi))
+        if len(blocks) == 1 and not access.is_write:
+            return ("rblock", next(iter(blocks)), access.count)
+        sets = tuple(sorted(self._sets_of_ranges(access.ranges)))
+        if len(sets) == self.config.num_sets:
+            return ("allsets", not access.is_write, access.count)
+        return ("sets", sets, not access.is_write, access.count)
+
+    def _compile_read(self, access):
+        """Blocks that must all be resident for the read to be AH."""
+        if access is None or access.is_write or access.unknown or \
+                access.count != 1 or not self.config.unified:
+            return None
+        blocks = set()
+        for lo, hi in access.ranges:
+            blocks.update(self._blocks_of_range(lo, hi))
+        if len(blocks) > 4 * self.config.assoc:
+            return None  # cannot all be resident in interesting cases
+        return tuple(blocks)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _blocks_of_range(self, lo, hi):
+        return self.config.blocks_in_range(lo, hi)
+
+    def _sets_of_ranges(self, ranges):
+        sets = set()
+        num_sets = self.config.num_sets
+        for lo, hi in ranges:
+            blocks = self._blocks_of_range(lo, hi)
+            if len(blocks) >= num_sets:
+                return set(range(num_sets))
+            for block in blocks:
+                sets.add(block % num_sets)
+        return sets
+
+    def _apply_plan(self, state: MustCache, plan):
+        if plan is None:
+            return
+        kind = plan[0]
+        if kind == "rblock":
+            _kind, block, count = plan
+            for _ in range(count):
+                state.access_block(block)
+        elif kind == "wblock":
+            state.access_block(plan[1], allocate=state.contains(plan[1]))
+        elif kind == "sets":
+            _kind, sets, evict, count = plan
+            for _ in range(count):
+                for index in sets:
+                    state.age_set(index, evict=evict)
+        else:  # allsets
+            _kind, evict, count = plan
+            for _ in range(count):
+                for index in list(state.sets):
+                    state.age_set(index, evict=evict)
+
+    def _transfer_block(self, state: MustCache, block, classify=None):
+        """Apply one basic block's accesses to *state* (in place)."""
+        block_of = self.config.block_of
+        for addr, instr in block.instrs:
+            fetch_block = block_of(addr)
+            if classify is not None:
+                classify(addr, "fetch", state.contains(fetch_block))
+            state.access_block(fetch_block)
+            if instr.size == 4:
+                second = block_of(addr + 2)
+                if second != fetch_block:
+                    if classify is not None and not state.contains(second):
+                        # Both halves must hit for an AH fetch.
+                        classify(addr, "fetch_second", False)
+                    state.access_block(second)
+            if classify is not None:
+                needed = self._read_blocks[addr]
+                if needed is not None:
+                    hit = all(state.contains(b) for b in needed)
+                    classify(addr, "data", hit)
+            self._apply_plan(state, self._plan[addr])
+
+    # -- fixpoint ---------------------------------------------------------------
+
+    def run(self) -> CacheAnalysisResult:
+        cfgs = self.cfgs
+        # Node = (func_name, block_addr). in-states start unknown (None);
+        # the program entry starts with the empty must cache (nothing
+        # guaranteed — cold and sound).
+        in_states = {}
+        entry_cfg = cfgs[self.entry_name]
+        in_states[(self.entry_name, entry_cfg.entry)] = MustCache(
+            self.config)
+
+        # Successor map including interprocedural edges.
+        succs = {}
+        for name, cfg in cfgs.items():
+            for baddr, block in cfg.blocks.items():
+                node = (name, baddr)
+                out = []
+                if block.call_target is not None:
+                    callee = self._entry_by_addr[block.call_target]
+                    out.append((callee, cfgs[callee].entry))
+                    # Return edge: callee exits -> call fall-through.
+                    for exit_block in cfgs[callee].exit_blocks:
+                        ret_node = (callee, exit_block.start)
+                        succs.setdefault(ret_node, []).extend(
+                            (name, s) for s in block.succs)
+                else:
+                    out.extend((name, s) for s in block.succs)
+                succs.setdefault(node, []).extend(out)
+
+        work = [(self.entry_name, entry_cfg.entry)]
+        iterations = 0
+        limit = 400 * sum(len(c.blocks) for c in cfgs.values()) + 10_000
+        while work:
+            iterations += 1
+            if iterations > limit:
+                raise RuntimeError("cache fixpoint failed to converge")
+            node = work.pop()
+            name, baddr = node
+            state = in_states[node].copy()
+            self._transfer_block(state, cfgs[name].blocks[baddr])
+            for succ in succs.get(node, ()):
+                current = in_states.get(succ)
+                if current is None:
+                    in_states[succ] = state.copy()
+                    work.append(succ)
+                elif current.join_with(state):
+                    work.append(succ)
+
+        # Classification pass.
+        result = CacheAnalysisResult(config=self.config)
+
+        def classify_factory(classes):
+            def classify(addr, what, hit):
+                entry = classes.setdefault(addr, AccessClass())
+                if what == "fetch":
+                    entry.fetch = AH if hit else NC
+                elif what == "fetch_second":
+                    entry.fetch = NC
+                else:
+                    entry.data = AH if hit else NC
+            return classify
+
+        classify = classify_factory(result.classes)
+        for name, cfg in cfgs.items():
+            for baddr, block in cfg.blocks.items():
+                node = (name, baddr)
+                if node not in in_states:
+                    continue  # unreachable
+                state = in_states[node].copy()
+                self._transfer_block(state, block, classify=classify)
+
+        if self.persistence:
+            self._apply_persistence(result)
+        return result
+
+    # -- persistence (optional ablation) ---------------------------------------
+
+    def _apply_persistence(self, result: CacheAnalysisResult):
+        """Upgrade NC fetches to first-miss where a loop scope protects them.
+
+        A fetch line is persistent in a loop if the distinct lines possibly
+        touched inside the loop that map to its cache set fit in the set
+        (and no unbounded access can reach that set).  Scopes do not cross
+        function boundaries; outermost qualifying scope wins.
+        """
+        from .loops import find_natural_loops
+
+        num_sets = self.config.num_sets
+        for name, cfg in self.cfgs.items():
+            loops = find_natural_loops(cfg)
+            if not loops:
+                continue
+            ordered = sorted(loops.values(), key=lambda l: -len(l.body))
+            for loop in ordered:
+                lines, dirty_sets, clean = self._loop_footprint(cfg, loop)
+                if not clean:
+                    continue
+                per_set = {}
+                for line in lines:
+                    per_set.setdefault(line % num_sets, set()).add(line)
+                for baddr in loop.body:
+                    for addr, instr in cfg.blocks[baddr].instrs:
+                        entry = result.classes.get(addr)
+                        if entry is None or entry.fetch != NC:
+                            continue
+                        line = self.config.block_of(addr)
+                        index = line % num_sets
+                        if index in dirty_sets:
+                            continue
+                        if len(per_set.get(index, ())) <= self.config.assoc:
+                            entry.fetch = FM
+                            entry.fetch_scope = loop.header
+
+    def _loop_footprint(self, cfg, loop):
+        """(fetch/data lines, sets touched by range accesses, analysable)."""
+        lines = set()
+        dirty_sets = set()
+        for baddr in loop.body:
+            block = cfg.blocks[baddr]
+            if block.call_target is not None:
+                # Calls inside the loop: every line the callee (closure)
+                # may touch would need collecting; be conservative and
+                # give up on this scope.
+                return set(), set(), False
+            for addr, instr in block.instrs:
+                lines.add(self.config.block_of(addr))
+                if instr.size == 4:
+                    lines.add(self.config.block_of(addr + 2))
+                plan = self._plan[addr]
+                if plan is None:
+                    continue
+                kind = plan[0]
+                if kind in ("rblock", "wblock"):
+                    lines.add(plan[1])
+                elif kind == "sets":
+                    dirty_sets |= set(plan[1])
+                else:  # allsets
+                    return set(), set(), False
+        return lines, dirty_sets, True

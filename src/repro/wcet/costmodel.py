@@ -1,0 +1,138 @@
+"""Worst-case cycle cost of individual instructions.
+
+Uses the *same* timing constants as the simulator
+(:mod:`repro.memory.timing`); the only difference is that concrete
+addresses/cache states are replaced by static classifications:
+
+* scratchpad/uncached systems: every address range maps to its region
+  statically, so costs are exact — the paper's point that a scratchpad
+  needs *no* analysis beyond region annotation;
+* cached systems: instruction fetches and data reads classified always-hit
+  cost one cycle, everything else is charged the full line fill; writes are
+  write-through and cost main-memory time in both worlds.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import Cond, Op
+from ..memory.hierarchy import SystemConfig
+from ..memory.regions import RegionKind
+from ..memory.timing import (
+    BRANCH_REFILL_CYCLES,
+    CACHE_HIT_CYCLES,
+    instruction_extra_cycles,
+)
+from .accesses import DataAccess
+from .cacheanalysis import AH, FM, CacheAnalysisResult
+
+
+class CostModel:
+    """Static per-instruction worst-case costs for one system config."""
+
+    def __init__(self, config: SystemConfig, data_accesses: dict,
+                 cache_result: CacheAnalysisResult = None):
+        self.config = config
+        self.timing = config.timing
+        self.spm_size = config.spm_size
+        self.cache = config.cache
+        self.cache_result = cache_result
+        self._data = data_accesses
+        self._miss = (self.timing.line_fill_cycles(self.cache.line_size)
+                      if self.cache else 0)
+        if self.cache and cache_result is None:
+            raise ValueError("cached config needs a cache analysis result")
+
+    # -- region helpers ----------------------------------------------------------
+
+    def _region_kind(self, addr: int) -> str:
+        if addr < self.spm_size:
+            return RegionKind.SPM
+        return RegionKind.MAIN
+
+    def _uncached_cost(self, lo: int, hi: int, width: int) -> int:
+        """Worst-case cost of one access somewhere in [lo, hi)."""
+        kinds = {self._region_kind(lo), self._region_kind(max(lo, hi - 1))}
+        return max(self.timing.cycles(kind, width) for kind in kinds)
+
+    # -- fetch -----------------------------------------------------------------------
+
+    def fetch_cost(self, addr: int, instr) -> int:
+        halves = instr.size // 2
+        if self.cache is None:
+            kind = self._region_kind(addr)
+            return halves * self.timing.cycles(kind, 2)
+        fetch_class = self.cache_result.fetch_class(addr)
+        if fetch_class in (AH, FM):
+            # FM is charged as a hit here; the per-scope penalty is added
+            # by the IPET builder on the loop's entry edges.
+            return halves * CACHE_HIT_CYCLES
+        if halves == 1:
+            return self._miss
+        same_line = (addr // self.cache.line_size ==
+                     (addr + 2) // self.cache.line_size)
+        if same_line:
+            return self._miss + CACHE_HIT_CYCLES
+        return 2 * self._miss
+
+    def fetch_miss_penalty(self, addr: int) -> int:
+        """Extra cycles of the one FM miss vs. the charged hit."""
+        return self._miss - CACHE_HIT_CYCLES
+
+    # -- data ---------------------------------------------------------------------------
+
+    def _read_cost(self, addr: int, access: DataAccess) -> int:
+        if self.cache is None or not self.cache.unified:
+            # No cache on the data path: region timing is exact.
+            worst = 0
+            for lo, hi in access.ranges or ((0, 0),):
+                worst = max(worst,
+                            self._uncached_cost(lo, hi, access.width))
+            if access.unknown:
+                worst = self.timing.cycles(RegionKind.MAIN, access.width)
+            return worst * access.count
+        if access.count == 1 and \
+                self.cache_result.data_class(addr) == AH:
+            return CACHE_HIT_CYCLES
+        return self._miss * access.count
+
+    def _write_cost(self, access: DataAccess) -> int:
+        if self.cache is not None and self.cache.unified:
+            # Write-through, no allocate: main-memory cost per store.
+            return self.timing.cycles(RegionKind.MAIN,
+                                      access.width) * access.count
+        worst = 0
+        for lo, hi in access.ranges or ((0, 0),):
+            worst = max(worst, self._uncached_cost(lo, hi, access.width))
+        if access.unknown:
+            worst = self.timing.cycles(RegionKind.MAIN, access.width)
+        return worst * access.count
+
+    def data_cost(self, addr: int) -> int:
+        access = self._data.get(addr)
+        if access is None:
+            return 0
+        if access.is_write:
+            return self._write_cost(access)
+        return self._read_cost(addr, access)
+
+    # -- whole instructions --------------------------------------------------------------
+
+    def instr_cost(self, addr: int, instr):
+        """Return ``(base_cycles, taken_edge_extra)`` for one instruction.
+
+        *base_cycles* is charged whenever the instruction executes;
+        *taken_edge_extra* (non-zero only for conditional branches) is
+        charged on the taken edge by the IPET builder.
+        """
+        cost = self.fetch_cost(addr, instr)
+        cost += self.data_cost(addr)
+        cost += instruction_extra_cycles(instr.op)
+        taken_extra = 0
+        op = instr.op
+        if op in (Op.B, Op.BL, Op.BX):
+            cost += BRANCH_REFILL_CYCLES
+        elif op is Op.POP and instr.with_link:
+            cost += BRANCH_REFILL_CYCLES
+        elif op is Op.BCC:
+            taken_extra = BRANCH_REFILL_CYCLES
+        return cost, taken_extra

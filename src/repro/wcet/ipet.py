@@ -1,0 +1,145 @@
+"""Implicit Path Enumeration (IPET): longest path as an ILP.
+
+The classic Li/Malik formulation the paper's aiT workflow uses after
+microarchitectural analysis: one execution-count variable per basic block
+and per edge, flow conservation, a unit entry flow, and per-loop bound
+constraints; the WCET is the maximum of the total cost.
+
+Per function::
+
+    maximise   sum(cost_b * x_b) + sum(extra_e * x_e) + persistence terms
+    subject to x_entry's in-flow = 1
+               sum(in-edges of b) = x_b = sum(out-edges of b)
+               sum(back-edges of L) <= bound_L * sum(entry-edges of L)
+
+The ILP is solved with :mod:`repro.ilp` (the CPLEX stand-in).  IPET flow
+matrices are network-like, so the LP relaxation is almost always integral
+and branch & bound terminates immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ilp import Model, Status
+from .cfg import FunctionCFG
+from .loops import Loop
+
+
+class IPETError(Exception):
+    pass
+
+
+@dataclass
+class IPETResult:
+    wcet: int
+    #: block start addr -> execution count on the critical path
+    block_counts: dict = field(default_factory=dict)
+
+
+def solve_function_ipet(cfg: FunctionCFG, block_costs: dict,
+                        edge_extras: dict, loops: dict,
+                        scope_penalties=None) -> IPETResult:
+    """Solve IPET for one function.
+
+    * *block_costs*: block addr -> cycles per execution (callee WCETs
+      already folded into call blocks);
+    * *edge_extras*: (src, dst) -> extra cycles when that edge is taken
+      (conditional-branch refill);
+    * *loops*: header addr -> :class:`Loop` with resolved bounds;
+    * *scope_penalties*: header addr -> cycles charged once per loop entry
+      (first-miss persistence penalties).
+    """
+    model = Model(f"ipet_{cfg.name}", maximize=True)
+
+    x_block = {addr: model.add_var(f"x_{addr:#x}", lo=0, integer=True)
+               for addr in cfg.blocks}
+    x_edge = {}
+    for src, dst in cfg.edges():
+        x_edge[(src, dst)] = model.add_var(
+            f"e_{src:#x}_{dst:#x}", lo=0, integer=True)
+    # Virtual entry edge and exit edges.
+    entry_var = model.add_var("e_entry", lo=1, hi=1, integer=True)
+    exit_vars = {}
+    for addr, block in cfg.blocks.items():
+        terminal = block.is_exit or not block.succs
+        if terminal:
+            exit_vars[addr] = model.add_var(
+                f"exit_{addr:#x}", lo=0, integer=True)
+    if not exit_vars:
+        raise IPETError(f"{cfg.name}: no exit blocks (infinite loop?)")
+
+    preds = {addr: [] for addr in cfg.blocks}
+    for src, dst in cfg.edges():
+        preds[dst].append(src)
+
+    # Flow conservation.
+    for addr, block in cfg.blocks.items():
+        inflow = {x_edge[(p, addr)]: 1 for p in preds[addr]}
+        if addr == cfg.entry:
+            inflow[entry_var] = 1
+        coeffs = dict(inflow)
+        coeffs[x_block[addr]] = coeffs.get(x_block[addr], 0) - 1
+        model.add_eq(coeffs, 0)
+
+        outflow = {x_edge[(addr, s)]: 1 for s in block.succs}
+        if addr in exit_vars:
+            outflow[exit_vars[addr]] = 1
+        coeffs = dict(outflow)
+        coeffs[x_block[addr]] = coeffs.get(x_block[addr], 0) - 1
+        model.add_eq(coeffs, 0)
+
+    # Loop bounds: back edges <= bound * entry edges, and/or
+    # back edges <= total (per function invocation).
+    for header, loop in loops.items():
+        if loop.bound is None and loop.bound_total is None:
+            raise IPETError(
+                f"{cfg.name}: loop at {header:#x} has no bound")
+        if loop.bound is not None:
+            coeffs = {}
+            for edge in loop.back_edges:
+                coeffs[x_edge[edge]] = coeffs.get(x_edge[edge], 0) + 1
+            for edge in loop.entry_edges:
+                coeffs[x_edge[edge]] = coeffs.get(x_edge[edge], 0) \
+                    - loop.bound
+            if loop.header == cfg.entry:
+                # Entering the function enters the loop.
+                coeffs[entry_var] = coeffs.get(entry_var, 0) - loop.bound
+            model.add_le(coeffs, 0)
+        if loop.bound_total is not None:
+            coeffs = {}
+            for edge in loop.back_edges:
+                coeffs[x_edge[edge]] = coeffs.get(x_edge[edge], 0) + 1
+            model.add_le(coeffs, loop.bound_total)
+
+    # Objective.
+    objective = {}
+    for addr, var in x_block.items():
+        cost = block_costs.get(addr, 0)
+        if cost:
+            objective[var] = cost
+    for edge, extra in edge_extras.items():
+        if extra and edge in x_edge:
+            objective[x_edge[edge]] = objective.get(x_edge[edge], 0) + extra
+    for header, penalty in (scope_penalties or {}).items():
+        if not penalty:
+            continue
+        loop = loops.get(header)
+        if loop is None:
+            continue
+        for edge in loop.entry_edges:
+            objective[x_edge[edge]] = objective.get(
+                x_edge[edge], 0) + penalty
+        if loop.header == cfg.entry:
+            objective[entry_var] = objective.get(entry_var, 0) + penalty
+    if not objective:
+        objective[entry_var] = 0
+    model.set_objective(objective)
+
+    solution = model.solve()
+    if solution.status != Status.OPTIMAL:
+        raise IPETError(
+            f"{cfg.name}: IPET ILP is {solution.status} "
+            f"({model.stats()})")
+    counts = {addr: round(solution[var]) for addr, var in x_block.items()}
+    return IPETResult(wcet=round(solution.objective), block_counts=counts)

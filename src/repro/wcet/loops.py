@@ -1,0 +1,120 @@
+"""Dominators, natural loops and loop-bound resolution.
+
+Loop bounds arrive as flow facts in the image (header address -> maximal
+back-edge count per loop entry), produced by the compiler's bound analysis
+or by ``#pragma loopbound`` annotations — mirroring aiT's mix of automatic
+bounds and user annotation.  IPET turns each loop into the constraint::
+
+    sum(back-edge counts)  <=  bound * sum(entry-edge counts)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import FunctionCFG
+
+
+class LoopError(Exception):
+    """A loop required for WCET analysis has no usable bound."""
+
+
+@dataclass
+class Loop:
+    """One natural loop (possibly merged over several back edges)."""
+
+    header: int
+    #: blocks belonging to the loop (addresses), header included
+    body: set = field(default_factory=set)
+    #: back edges as (tail, header) pairs
+    back_edges: list = field(default_factory=list)
+    #: edges entering the header from outside the loop
+    entry_edges: list = field(default_factory=list)
+    #: max back edges per loop entry (None if only a total bound exists)
+    bound: int = None
+    #: max back edges per function invocation (triangular nests)
+    bound_total: int = None
+
+
+def compute_dominators(cfg: FunctionCFG) -> dict:
+    """Iterative dominator sets: block addr -> set of dominator addrs."""
+    addrs = list(cfg.blocks)
+    preds = {addr: [] for addr in addrs}
+    for src, dst in cfg.edges():
+        preds[dst].append(src)
+    full = set(addrs)
+    dom = {addr: set(full) for addr in addrs}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for addr in addrs:
+            if addr == cfg.entry:
+                continue
+            pred_doms = [dom[p] for p in preds[addr]]
+            new = set.intersection(*pred_doms) if pred_doms else set()
+            new.add(addr)
+            if new != dom[addr]:
+                dom[addr] = new
+                changed = True
+    return dom
+
+
+def find_natural_loops(cfg: FunctionCFG) -> dict:
+    """Detect natural loops; returns header addr -> :class:`Loop`.
+
+    Back edges sharing a header are merged into one loop (the usual
+    treatment for continue statements, which create multiple latches).
+    """
+    dom = compute_dominators(cfg)
+    preds = {addr: [] for addr in cfg.blocks}
+    for src, dst in cfg.edges():
+        preds[dst].append(src)
+
+    loops = {}
+    for src, dst in cfg.edges():
+        if dst not in dom[src]:
+            continue  # not a back edge
+        loop = loops.setdefault(dst, Loop(header=dst))
+        loop.back_edges.append((src, dst))
+        # Natural loop body: header + all blocks reaching the latch
+        # without passing through the header.
+        body = {dst, src}
+        work = [src]
+        while work:
+            node = work.pop()
+            if node == dst:
+                continue
+            for pred in preds[node]:
+                if pred not in body:
+                    body.add(pred)
+                    work.append(pred)
+        loop.body |= body
+
+    for loop in loops.values():
+        for src, dst in cfg.edges():
+            if dst == loop.header and src not in loop.body:
+                loop.entry_edges.append((src, dst))
+    return loops
+
+
+def resolve_bounds(cfg: FunctionCFG, flow_facts: dict,
+                   total_facts: dict = None) -> dict:
+    """Attach flow-fact bounds to loops; raise on unbounded loops.
+
+    *flow_facts* maps header addresses to per-entry back-edge bounds,
+    *total_facts* to per-invocation totals (both from the linked image).
+    A loop is analysable with either kind of bound.
+    """
+    total_facts = total_facts or {}
+    loops = find_natural_loops(cfg)
+    for header, loop in loops.items():
+        if header in flow_facts:
+            loop.bound = flow_facts[header]
+        if header in total_facts:
+            loop.bound_total = total_facts[header]
+        if loop.bound is None and loop.bound_total is None:
+            raise LoopError(
+                f"function {cfg.name!r}: loop at {header:#x} has no bound; "
+                "add '#pragma loopbound N' before the loop")
+    return loops

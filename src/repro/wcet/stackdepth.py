@@ -1,0 +1,75 @@
+"""Static stack-depth analysis.
+
+Bounds the address range the runtime stack can occupy, so the cache
+analysis only invalidates the cache sets the stack may actually map to
+(instead of clobbering the whole cache on every sp-relative access).
+This is the lightweight analogue of aiT's value/stack analysis.
+
+Per function, the frame is fixed by the prologue (mini-C never moves sp
+mid-function): pushed registers plus the static sp adjustment.  The
+program-wide bound follows the call graph (recursion is rejected — the
+paper's setting is static real-time code).
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import Op
+from ..memory.regions import STACK_TOP
+from .cfg import FunctionCFG
+
+
+class StackAnalysisError(Exception):
+    pass
+
+
+def frame_bytes(cfg: FunctionCFG) -> int:
+    """Maximal stack bytes this function itself occupies."""
+    pushed = 0
+    adjusted = 0
+    for block in cfg.blocks.values():
+        block_adjust = 0
+        for _addr, instr in block.instrs:
+            if instr.op is Op.PUSH:
+                pushed = max(
+                    pushed,
+                    4 * (len(instr.reglist) + (1 if instr.with_link else 0)))
+            elif instr.op is Op.SPADJ and instr.imm < 0:
+                block_adjust += -instr.imm
+        adjusted = max(adjusted, block_adjust)
+    return pushed + adjusted
+
+
+def max_stack_depth(cfgs: dict, entry_name: str,
+                    entry_by_addr: dict) -> int:
+    """Maximal total stack bytes from *entry_name* down the call graph."""
+    memo = {}
+    visiting = set()
+
+    def depth(name):
+        if name in memo:
+            return memo[name]
+        if name in visiting:
+            raise StackAnalysisError(
+                f"recursion detected at {name!r}; WCET analysis requires "
+                "a recursion-free call graph")
+        visiting.add(name)
+        cfg = cfgs[name]
+        own = frame_bytes(cfg)
+        deepest_callee = 0
+        for callee_addr in cfg.calls:
+            callee = entry_by_addr.get(callee_addr)
+            if callee is None:
+                raise StackAnalysisError(
+                    f"{name!r} calls unknown address {callee_addr:#x}")
+            deepest_callee = max(deepest_callee, depth(callee))
+        visiting.discard(name)
+        memo[name] = own + deepest_callee
+        return memo[name]
+
+    return depth(entry_name)
+
+
+def stack_region(cfgs: dict, entry_name: str, entry_by_addr: dict):
+    """The address range [lo, hi) the stack can occupy during execution."""
+    depth = max_stack_depth(cfgs, entry_name, entry_by_addr)
+    return STACK_TOP - depth, STACK_TOP

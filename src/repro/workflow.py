@@ -1,0 +1,164 @@
+"""The paper's Figure-1 workflow, as two one-call pipelines.
+
+Left branch (scratchpad):
+  compile -> profile (typical input, ARMulator role) -> energy knapsack
+  -> link with SPM placement -> simulate -> WCET analysis (region
+  annotations only).
+
+Right branch (cache):
+  compile -> link (cache is software-transparent: one executable serves
+  all cache sizes) -> simulate with the cache model -> WCET analysis with
+  the MUST cache analysis.
+
+A :class:`Workflow` caches the compile and profile steps so a size sweep
+only repeats the placement/simulation/analysis work, like the paper's
+experimental setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .energy.model import EnergyModel
+from .link.linker import link
+from .memory.cache import CacheConfig
+from .memory.hierarchy import SystemConfig
+from .minic.frontend import compile_source
+from .sim.profile import ProgramProfile, build_profile
+from .sim.simulator import SimResult, simulate
+from .spm.allocator import Allocation, allocate_energy_optimal
+from .spm.wcet_driven import allocate_wcet_driven
+from .wcet.analyzer import WCETResult, analyze_wcet
+
+#: The paper's size sweep: 64 bytes to 8 kilobytes.
+PAPER_SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+@dataclass
+class EvaluationPoint:
+    """One (system configuration, executable) measurement."""
+
+    config: SystemConfig
+    image: object
+    sim: SimResult
+    wcet: WCETResult
+    allocation: Allocation = None
+
+    @property
+    def ratio(self) -> float:
+        """WCET overestimation vs. the typical-input simulation."""
+        return self.wcet.wcet / self.sim.cycles
+
+    def row(self) -> dict:
+        """Flat record for tables/reports."""
+        return {
+            "config": self.config.name,
+            "sim_cycles": self.sim.cycles,
+            "wcet_cycles": self.wcet.wcet,
+            "ratio": round(self.ratio, 3),
+        }
+
+
+class Workflow:
+    """Compile once; evaluate any number of memory configurations."""
+
+    def __init__(self, source: str, entry: str = "main",
+                 max_steps: int = 200_000_000,
+                 energy_model: EnergyModel = None):
+        self.compiled = compile_source(source, entry=entry)
+        self.max_steps = max_steps
+        self.energy_model = energy_model or EnergyModel()
+        self._profile = None
+        self._baseline_image = None
+        self._points = {}  # (kind, parameters) -> EvaluationPoint
+
+    @property
+    def program(self):
+        return self.compiled.program
+
+    # -- shared steps -----------------------------------------------------------
+
+    def baseline_image(self):
+        """All-objects-in-main-memory executable (also the cache binary)."""
+        if self._baseline_image is None:
+            self._baseline_image = link(self.program, spm_size=0,
+                                        config_name="baseline")
+        return self._baseline_image
+
+    def profile(self) -> ProgramProfile:
+        """Typical-input access profile (drives the energy knapsack)."""
+        if self._profile is None:
+            result = simulate(self.baseline_image(),
+                              SystemConfig.uncached(),
+                              max_steps=self.max_steps, profile=True)
+            self._profile = build_profile(self.baseline_image(), result)
+        return self._profile
+
+    # -- left branch: scratchpad ---------------------------------------------------
+
+    def allocate(self, spm_size: int, method: str = "energy") -> Allocation:
+        if method == "energy":
+            return allocate_energy_optimal(
+                self.program, self.profile(), spm_size,
+                model=self.energy_model)
+        if method == "wcet":
+            return allocate_wcet_driven(self.program, spm_size)
+        raise ValueError(f"unknown allocation method {method!r}")
+
+    def spm_point(self, spm_size: int,
+                  method: str = "energy") -> EvaluationPoint:
+        """Evaluate one scratchpad capacity (allocate, link, sim, WCET)."""
+        key = ("spm", spm_size, method)
+        if key in self._points:
+            return self._points[key]
+        allocation = self.allocate(spm_size, method)
+        image = link(self.program, spm_size=spm_size,
+                     spm_objects=allocation.objects,
+                     config_name=f"spm{spm_size}")
+        config = SystemConfig.scratchpad(spm_size)
+        sim = simulate(image, config, max_steps=self.max_steps)
+        wcet = analyze_wcet(image, config)
+        point = EvaluationPoint(config=config, image=image, sim=sim,
+                                wcet=wcet, allocation=allocation)
+        self._points[key] = point
+        return point
+
+    def spm_sweep(self, sizes=PAPER_SIZES, method: str = "energy"):
+        return [self.spm_point(size, method) for size in sizes]
+
+    # -- right branch: cache ----------------------------------------------------------
+
+    def cache_point(self, cache: CacheConfig,
+                    persistence: bool = False) -> EvaluationPoint:
+        """Evaluate one cache configuration on the shared executable."""
+        key = ("cache", cache, persistence)
+        if key in self._points:
+            return self._points[key]
+        image = self.baseline_image()
+        config = SystemConfig.cached(cache)
+        sim = simulate(image, config, max_steps=self.max_steps)
+        wcet = analyze_wcet(image, config, persistence=persistence)
+        point = EvaluationPoint(config=config, image=image, sim=sim,
+                                wcet=wcet)
+        self._points[key] = point
+        return point
+
+    def cache_sweep(self, sizes=PAPER_SIZES, line_size: int = 16,
+                    assoc: int = 1, unified: bool = True,
+                    persistence: bool = False):
+        points = []
+        for size in sizes:
+            cache = CacheConfig(size=size, line_size=line_size,
+                                assoc=assoc, unified=unified)
+            points.append(self.cache_point(cache, persistence=persistence))
+        return points
+
+    # -- baseline -----------------------------------------------------------------------
+
+    def uncached_point(self) -> EvaluationPoint:
+        image = self.baseline_image()
+        config = SystemConfig.uncached()
+        sim = simulate(image, config, max_steps=self.max_steps)
+        wcet = analyze_wcet(image, config)
+        return EvaluationPoint(config=config, image=image, sim=sim,
+                               wcet=wcet)

@@ -1,0 +1,35 @@
+"""Shared test helpers: compile-and-run mini-C snippets."""
+
+from repro.link import link
+from repro.memory import SystemConfig
+from repro.minic import compile_source
+from repro.sim import simulate
+
+
+def run_main(source, config=None, spm_objects=(), spm_size=0, **sim_kwargs):
+    """Compile *source*, run ``main`` and return the SimResult."""
+    compiled = compile_source(source)
+    image = link(compiled.program, spm_size=spm_size,
+                 spm_objects=spm_objects)
+    return simulate(image, config or SystemConfig.uncached(), **sim_kwargs)
+
+
+def returns(source, **kwargs):
+    """Exit code of running *source* (i.e. main's return value & 0xff...)."""
+    return run_main(source, **kwargs).exit_code
+
+
+def expr_value(expression, prelude=""):
+    """Evaluate a mini-C int expression via compile+simulate.
+
+    The value is printed through the console to preserve all 32 bits.
+    """
+    source = f"""
+    {prelude}
+    int main(void) {{
+        __print_int({expression});
+        return 0;
+    }}
+    """
+    result = run_main(source)
+    return int(result.console[0])

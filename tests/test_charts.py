@@ -1,0 +1,47 @@
+"""ASCII chart rendering for the figure experiments."""
+
+from repro.experiments.charts import ascii_chart, cycles_chart, ratio_chart
+
+
+class TestAsciiChart:
+    def test_scaling_to_peak(self):
+        rows = [(1, {"a": 10.0}), (2, {"a": 5.0})]
+        text = ascii_chart(rows, ["a"], width=10)
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert lines[0].count("#") == 10   # the peak fills the width
+        assert lines[1].count("#") == 5
+
+    def test_half_marks(self):
+        rows = [(1, {"a": 4.0}), (2, {"a": 3.5})]
+        text = ascii_chart(rows, ["a"], width=4)
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert "###+" in lines[1]  # 3.5/4 of width 4 = 3.5 units
+
+    def test_series_grouping(self):
+        rows = [(64, {"spm": 1.0, "cache": 2.0})]
+        text = ascii_chart(rows, ["spm", "cache"])
+        assert "spm" in text and "cache" in text
+
+    def test_missing_series_skipped(self):
+        rows = [(1, {"a": 1.0}), (2, {})]
+        text = ascii_chart(rows, ["a"])
+        assert text.count("a ") >= 1
+
+    def test_zero_values(self):
+        rows = [(1, {"a": 0.0})]
+        text = ascii_chart(rows, ["a"])
+        assert "0.000" in text
+
+    def test_ratio_chart_wrapper(self):
+        rows = [{"size": 64, "spm_ratio": 1.3, "cache_ratio": 2.2},
+                {"size": 128, "spm_ratio": 1.4, "cache_ratio": 3.1}]
+        text = ratio_chart(rows)
+        assert "spm" in text and "cache" in text
+        assert "3.100" in text
+
+    def test_cycles_chart_wrapper(self):
+        rows = [{"size": 64, "sim_cycles": 1_000_000,
+                 "wcet_cycles": 2_000_000}]
+        text = cycles_chart(rows)
+        assert "1,000,000" in text
+        assert "2,000,000" in text

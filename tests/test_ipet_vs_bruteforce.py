@@ -1,0 +1,104 @@
+"""IPET vs. exhaustive path enumeration on random CFGs.
+
+For loop-free DAGs, the WCET is the longest entry-to-exit path; IPET must
+find exactly that.  For single-loop CFGs, brute force unrolls the loop up
+to its bound.  This pins the ILP encoding (flow conservation, edge costs,
+bound constraints) against an independent formulation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.wcet.ipet import solve_function_ipet
+from repro.wcet.loops import find_natural_loops
+
+from .test_wcet_ipet import make_cfg
+
+
+def longest_path_dag(edges, costs, edge_costs, entry, exits):
+    """Exhaustive longest path on a DAG (memoised DFS)."""
+    succs = {}
+    for src, dst in edges:
+        succs.setdefault(src, []).append(dst)
+    memo = {}
+
+    def best_from(node):
+        if node in memo:
+            return memo[node]
+        base = costs.get(node, 0)
+        best = base if node in exits else None
+        for succ in succs.get(node, ()):
+            tail = best_from(succ)
+            if tail is None:
+                continue
+            candidate = base + edge_costs.get((node, succ), 0) + tail
+            if best is None or candidate > best:
+                best = candidate
+        memo[node] = best
+        return best
+
+    return best_from(entry)
+
+
+@st.composite
+def random_dag(draw):
+    """Random layered DAG with 3-9 nodes, entry 0, all sinks are exits."""
+    n = draw(st.integers(3, 9))
+    nodes = list(range(n))
+    edges = set()
+    for src in range(n - 1):
+        fanout = draw(st.integers(1, min(3, n - 1 - src)))
+        targets = draw(st.lists(
+            st.integers(src + 1, n - 1),
+            min_size=fanout, max_size=fanout, unique=True))
+        for dst in targets:
+            edges.add((src, dst))
+    # Make every node reachable: link orphans from node 0.
+    reachable = {0}
+    for src, dst in sorted(edges):
+        if src in reachable:
+            reachable.add(dst)
+    for node in nodes[1:]:
+        if node not in reachable:
+            edges.add((0, node))
+            reachable.add(node)
+    succs = {s for s, _ in edges}
+    exits = {node for node in nodes if node not in succs}
+    costs = {node: draw(st.integers(0, 50)) for node in nodes}
+    edge_costs = {}
+    for edge in sorted(edges):
+        if draw(st.booleans()):
+            edge_costs[edge] = draw(st.integers(1, 10))
+    return sorted(edges), costs, edge_costs, exits
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_dag())
+def test_ipet_equals_longest_path_on_dags(dag):
+    edges, costs, edge_costs, exits = dag
+    cfg = make_cfg(edges, entry=0, exits=exits)
+    result = solve_function_ipet(cfg, costs, edge_costs, {})
+    expected = longest_path_dag(edges, costs, edge_costs, 0, exits)
+    assert result.wcet == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    body_cost=st.integers(1, 30),
+    header_cost=st.integers(0, 10),
+    bound=st.integers(0, 12),
+    back_extra=st.integers(0, 5),
+)
+def test_ipet_single_loop_matches_unrolling(body_cost, header_cost,
+                                            bound, back_extra):
+    # 0 -> 2(header) -> 4(body) -> 2 ... -> 6(exit)
+    cfg = make_cfg([(0, 2), (2, 4), (4, 2), (2, 6)], entry=0, exits={6})
+    loops = find_natural_loops(cfg)
+    loops[2].bound = bound
+    costs = {0: 3, 2: header_cost, 4: body_cost, 6: 2}
+    edge_costs = {(4, 2): back_extra}
+    result = solve_function_ipet(cfg, costs, edge_costs, loops)
+    expected = (3 + 2
+                + (bound + 1) * header_cost
+                + bound * body_cost
+                + bound * back_extra)
+    assert result.wcet == expected

@@ -1,0 +1,239 @@
+"""Encode/decode round-trip and range checks for the T16 ISA."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Cond, Instr, Op, decode, encode
+from repro.isa.encoding import EncodingError, IllegalInstruction
+from repro.isa import instruction as ins
+
+
+def roundtrip(instr, addr=0x1000):
+    words = encode(instr, addr)
+    if len(words) == 2:
+        decoded = decode(words[0], addr, words[1])
+    else:
+        decoded = decode(words[0], addr)
+    return decoded
+
+
+class TestBasicRoundtrip:
+    def test_movi(self):
+        decoded = roundtrip(ins.movi(3, 200))
+        assert decoded.op is Op.MOVI
+        assert decoded.rd == 3
+        assert decoded.imm == 200
+
+    def test_cmpi(self):
+        decoded = roundtrip(ins.cmpi(7, 0))
+        assert decoded.op is Op.CMPI and decoded.rd == 7
+
+    def test_addi_subi(self):
+        assert roundtrip(ins.addi(1, 255)).imm == 255
+        assert roundtrip(ins.subi(2, 1)).op is Op.SUBI
+
+    def test_three_address_add_sub(self):
+        decoded = roundtrip(ins.add_r(1, 2, 3))
+        assert (decoded.rd, decoded.rn, decoded.rm) == (1, 2, 3)
+        decoded = roundtrip(ins.sub_r(5, 6, 7))
+        assert decoded.op is Op.SUBR
+
+    def test_add3_sub3(self):
+        decoded = roundtrip(ins.add3(0, 1, 7))
+        assert decoded.op is Op.ADD3 and decoded.imm == 7
+        decoded = roundtrip(ins.sub3(0, 1, 0))
+        assert decoded.op is Op.SUB3 and decoded.imm == 0
+
+    def test_shifts_immediate(self):
+        for op in (Op.LSLI, Op.LSRI, Op.ASRI):
+            decoded = roundtrip(ins.shift_i(op, 2, 3, 31))
+            assert decoded.op is op and decoded.imm == 31
+
+    def test_alu_group_all(self):
+        from repro.isa.opcodes import ALU_ORDER
+        for op in ALU_ORDER:
+            decoded = roundtrip(ins.alu(op, 4, 5))
+            assert decoded.op is op
+            assert decoded.rd == 4 and decoded.rm == 5
+
+    def test_movr_bx(self):
+        decoded = roundtrip(ins.movr(0, 7))
+        assert decoded.op is Op.MOVR
+        decoded = roundtrip(ins.bx(14))
+        assert decoded.op is Op.BX and decoded.rm == 14
+
+    def test_memory_immediate_forms(self):
+        cases = [
+            (Op.LDRWI, 124, 4), (Op.STRWI, 0, 4),
+            (Op.LDRHI, 62, 2), (Op.STRHI, 2, 2),
+            (Op.LDRBI, 31, 1), (Op.STRBI, 1, 1),
+        ]
+        for op, offset, _scale in cases:
+            decoded = roundtrip(ins.mem_i(op, 1, 2, offset))
+            assert decoded.op is op and decoded.imm == offset
+
+    def test_memory_register_forms(self):
+        for op in (Op.LDRW_R, Op.STRW_R, Op.LDRH_R, Op.STRH_R,
+                   Op.LDRB_R, Op.STRB_R, Op.LDRSH_R, Op.LDRSB_R):
+            decoded = roundtrip(ins.mem_r(op, 1, 2, 3))
+            assert decoded.op is op
+            assert (decoded.rd, decoded.rn, decoded.rm) == (1, 2, 3)
+
+    def test_sp_relative(self):
+        decoded = roundtrip(ins.ldr_sp(1, 1020))
+        assert decoded.op is Op.LDRSP and decoded.imm == 1020
+        decoded = roundtrip(ins.str_sp(2, 0))
+        assert decoded.op is Op.STRSP
+
+    def test_sp_adjust(self):
+        assert roundtrip(ins.sp_adjust(-508)).imm == -508
+        assert roundtrip(ins.sp_adjust(508)).imm == 508
+        assert roundtrip(ins.sp_adjust(0)).imm == 0
+
+    def test_add_sp_pc_address(self):
+        decoded = roundtrip(ins.add_sp_i(3, 64))
+        assert decoded.op is Op.ADDSPI and decoded.imm == 64
+        decoded = roundtrip(ins.add_pc(3, 64))
+        assert decoded.op is Op.ADDPC and decoded.imm == 64
+
+    def test_push_pop(self):
+        decoded = roundtrip(ins.push((4, 5, 6), lr=True))
+        assert decoded.reglist == (4, 5, 6) and decoded.with_link
+        decoded = roundtrip(ins.pop((0,), pc=False))
+        assert decoded.reglist == (0,) and not decoded.with_link
+
+    def test_swi_nop(self):
+        assert roundtrip(ins.swi(255)).imm == 255
+        assert roundtrip(ins.nop()).op is Op.NOP
+
+
+class TestBranches:
+    def test_b_forward_backward(self):
+        addr = 0x100
+        for target in (0x100 + 4 + 2 * 1023, 0x100 + 4 - 2 * 1024):
+            decoded = roundtrip(ins.b(target), addr)
+            assert decoded.op is Op.B and decoded.target == target
+
+    def test_bcc_all_conditions(self):
+        addr = 0x200
+        target = addr + 4 + 40
+        for cond in Cond:
+            if cond is Cond.AL:
+                continue
+            decoded = roundtrip(ins.bcc(cond, target), addr)
+            assert decoded.cond is cond and decoded.target == target
+
+    def test_bcc_al_becomes_b(self):
+        instr = ins.bcc(Cond.AL, "x")
+        assert instr.op is Op.B
+
+    def test_bl_roundtrip(self):
+        addr = 0x400000
+        for target in (addr + 4, addr + 4 + 2 * ((1 << 21) - 1),
+                       addr + 4 - (1 << 22)):
+            decoded = roundtrip(ins.bl(target), addr)
+            assert decoded.op is Op.BL and decoded.target == target
+            assert decoded.size == 4
+
+    def test_branch_out_of_range_raises(self):
+        with pytest.raises(EncodingError):
+            encode(ins.b(0x10000), 0)
+        with pytest.raises(EncodingError):
+            encode(ins.bcc(Cond.EQ, 0x1000), 0)
+
+    def test_unresolved_symbol_raises(self):
+        with pytest.raises(EncodingError):
+            encode(ins.b("nowhere"), 0)
+
+    def test_ldrpc_target_resolution(self):
+        instr = ins.ldr_pc(2, target="pool")
+        words = encode(instr, 0x100, resolve=lambda s: 0x100 + 4 + 64)
+        decoded = decode(words[0], 0x100)
+        assert decoded.target == 0x100 + 4 + 64
+
+
+class TestIllegal:
+    def test_stray_bl_suffix(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0b11110 << 11, 0)
+
+    def test_bl_prefix_without_suffix(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0b11101 << 11, 0, 0x0000)
+
+    def test_reserved_cond_field(self):
+        # cond=15 in the BCC space is illegal.
+        with pytest.raises(IllegalInstruction):
+            decode((0b1101 << 12) | (15 << 8), 0)
+
+    def test_nop_family_nonzero_bits(self):
+        with pytest.raises(IllegalInstruction):
+            decode((0b11111 << 11) | 1, 0)
+
+
+# -- property-based round-trip -----------------------------------------------
+
+_low = st.integers(0, 7)
+
+
+@st.composite
+def arbitrary_instr(draw):
+    choice = draw(st.sampled_from([
+        "movi", "cmpi", "addi", "subi", "addr", "add3", "shift",
+        "alu", "movr", "mem_i", "mem_r", "sp", "push", "pop",
+        "spadj", "swi",
+    ]))
+    if choice in ("movi", "cmpi", "addi", "subi"):
+        factory = getattr(ins, choice)
+        return factory(draw(_low), draw(st.integers(0, 255)))
+    if choice == "addr":
+        return ins.add_r(draw(_low), draw(_low), draw(_low))
+    if choice == "add3":
+        return ins.add3(draw(_low), draw(_low), draw(st.integers(0, 7)))
+    if choice == "shift":
+        op = draw(st.sampled_from([Op.LSLI, Op.LSRI, Op.ASRI]))
+        return ins.shift_i(op, draw(_low), draw(_low),
+                           draw(st.integers(0, 31)))
+    if choice == "alu":
+        from repro.isa.opcodes import ALU_ORDER
+        return ins.alu(draw(st.sampled_from(ALU_ORDER)), draw(_low),
+                       draw(_low))
+    if choice == "movr":
+        return ins.movr(draw(_low), draw(_low))
+    if choice == "mem_i":
+        op = draw(st.sampled_from(
+            [Op.LDRWI, Op.STRWI, Op.LDRHI, Op.STRHI, Op.LDRBI, Op.STRBI]))
+        scale = {Op.LDRWI: 4, Op.STRWI: 4, Op.LDRHI: 2, Op.STRHI: 2,
+                 Op.LDRBI: 1, Op.STRBI: 1}[op]
+        return ins.mem_i(op, draw(_low), draw(_low),
+                         draw(st.integers(0, 31)) * scale)
+    if choice == "mem_r":
+        op = draw(st.sampled_from(
+            [Op.LDRW_R, Op.STRW_R, Op.LDRH_R, Op.STRH_R, Op.LDRB_R,
+             Op.STRB_R, Op.LDRSH_R, Op.LDRSB_R]))
+        return ins.mem_r(op, draw(_low), draw(_low), draw(_low))
+    if choice == "sp":
+        factory = draw(st.sampled_from([ins.ldr_sp, ins.str_sp,
+                                        ins.add_sp_i]))
+        return factory(draw(_low), draw(st.integers(0, 255)) * 4)
+    if choice == "push":
+        regs = draw(st.lists(_low, unique=True, max_size=8))
+        return ins.push(regs, lr=draw(st.booleans()))
+    if choice == "pop":
+        regs = draw(st.lists(_low, unique=True, max_size=8))
+        return ins.pop(regs, pc=draw(st.booleans()))
+    if choice == "spadj":
+        return ins.sp_adjust(draw(st.integers(-127, 127)) * 4)
+    return ins.swi(draw(st.integers(0, 255)))
+
+
+@given(arbitrary_instr())
+def test_roundtrip_property(instr):
+    decoded = roundtrip(instr)
+    assert decoded == instr
+
+
+@given(arbitrary_instr(), st.integers(0, 0x7FFFF))
+def test_encoding_is_16bit(instr, addr):
+    words = encode(instr, addr * 2)
+    assert all(0 <= w <= 0xFFFF for w in words)

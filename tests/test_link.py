@@ -1,0 +1,152 @@
+"""Linker: placement, symbol resolution, annotations, validation."""
+
+import pytest
+
+from repro.isa import Label, Op, decode
+from repro.isa import instruction as ins
+from repro.link import (
+    AccessNote,
+    DataObject,
+    FunctionCode,
+    LinkError,
+    Program,
+    link,
+)
+from repro.memory.regions import MAIN_BASE, SPM_BASE
+
+
+def tiny_program():
+    start = FunctionCode("_start", [
+        Label("_start"), ins.bl("f"), ins.swi(0)])
+    func = FunctionCode("f", [
+        Label("f"), Label("f_loop"), ins.subi(0, 1),
+        ins.b("f_done"),
+        Label("f_done"), ins.bx(14)],
+        loop_bounds={"f_loop": 5})
+    data = DataObject("buf", size=32, element_width=4)
+    table = DataObject("tbl", payload=b"\x01\x02\x03\x04", readonly=True,
+                       element_width=2)
+    return Program(functions=[start, func], globals=[data, table])
+
+
+class TestPlacement:
+    def test_default_all_main(self):
+        image = link(tiny_program())
+        for obj in image.objects:
+            assert obj.region == "main"
+            assert obj.base >= MAIN_BASE
+
+    def test_spm_placement(self):
+        image = link(tiny_program(), spm_size=128, spm_objects={"f", "buf"})
+        assert image.object_named("f").region == "scratchpad"
+        assert image.object_named("buf").region == "scratchpad"
+        assert image.object_named("_start").region == "main"
+        assert image.object_named("f").base < 128
+        assert image.spm_bytes_used() > 0
+
+    def test_objects_do_not_overlap(self):
+        image = link(tiny_program(), spm_size=64, spm_objects={"buf"})
+        spans = sorted((o.base, o.end) for o in image.objects)
+        for (b1, e1), (b2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= b2
+
+    def test_alignment(self):
+        image = link(tiny_program())
+        for obj in image.objects:
+            assert obj.base % 4 == 0
+
+    def test_spm_overflow_rejected(self):
+        with pytest.raises(LinkError):
+            link(tiny_program(), spm_size=16, spm_objects={"buf"})
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(LinkError):
+            link(tiny_program(), spm_size=64, spm_objects={"nope"})
+
+    def test_spm_objects_without_capacity_rejected(self):
+        with pytest.raises(LinkError):
+            link(tiny_program(), spm_size=0, spm_objects={"f"})
+
+
+class TestSymbolsAndAnnotations:
+    def test_entry_and_function_symbols(self):
+        image = link(tiny_program())
+        assert image.entry == image.symbols["_start"]
+        assert image.symbols["f"] == image.object_named("f").base
+
+    def test_loop_bounds_resolved_to_addresses(self):
+        image = link(tiny_program())
+        base = image.object_named("f").base
+        assert image.loop_bounds == {base: 5}
+
+    def test_loop_totals_resolved(self):
+        func = FunctionCode("f", [Label("f"), Label("L"), ins.bx(14)],
+                            loop_totals={"L": 99})
+        start = FunctionCode("_start", [Label("_start"), ins.swi(0)])
+        image = link(Program(functions=[start, func]))
+        assert list(image.loop_totals.values()) == [99]
+
+    def test_access_notes_keyed_by_address(self):
+        load = ins.mem_i(Op.LDRWI, 0, 1, 0)
+        load.note = AccessNote.exact("buf", 0, 4)
+        func = FunctionCode("f", [Label("f"), load, ins.bx(14)])
+        start = FunctionCode("_start", [Label("_start"), ins.swi(0)])
+        program = Program(functions=[start, func],
+                          globals=[DataObject("buf", size=16)])
+        image = link(program)
+        base = image.object_named("f").base
+        assert base in image.access_notes
+        assert image.access_notes[base].targets[0][0] == "buf"
+
+    def test_bl_crosses_regions(self):
+        image = link(tiny_program(), spm_size=128, spm_objects={"f"})
+        # Decode the BL in _start and verify it targets f's SPM address.
+        start = image.object_named("_start")
+        hw1 = image.read_halfword(start.base)
+        hw2 = image.read_halfword(start.base + 2)
+        instr = decode(hw1, start.base, hw2)
+        assert instr.op is Op.BL
+        assert instr.target == image.symbols["f"] < 128
+
+    def test_literal_pool_wordref_patched(self):
+        from repro.isa.assembler import WordRef
+        func = FunctionCode("f", [
+            Label("f"), ins.ldr_pc(0, target=".Lf_P0"), ins.bx(14),
+            Label(".Lf_P0"), WordRef("buf")])
+        start = FunctionCode("_start", [Label("_start"), ins.swi(0)])
+        program = Program(functions=[start, func],
+                          globals=[DataObject("buf", size=8)])
+        image = link(program, spm_size=32, spm_objects={"buf"})
+        pool_addr = image.symbols[".Lf_P0"]
+        assert image.read_word(pool_addr) == image.symbols["buf"]
+        assert image.symbols["buf"] < 32  # in SPM
+
+    def test_map_report(self):
+        report = link(tiny_program()).map_report()
+        assert "_start" in report and "buf" in report
+
+    def test_missing_entry_rejected(self):
+        program = Program(functions=[FunctionCode(
+            "f", [Label("f"), ins.bx(14)])])
+        with pytest.raises(LinkError):
+            link(program)
+
+    def test_duplicate_labels_rejected(self):
+        f1 = FunctionCode("_start", [Label("_start"), Label("dup"),
+                                     ins.swi(0)])
+        f2 = FunctionCode("g", [Label("g"), Label("dup"), ins.bx(14)])
+        with pytest.raises(LinkError):
+            link(Program(functions=[f1, f2]))
+
+    def test_data_initial_bytes(self):
+        image = link(tiny_program())
+        tbl = image.object_named("tbl")
+        assert image.read_bytes(tbl.base, 4) == b"\x01\x02\x03\x04"
+        buf = image.object_named("buf")
+        assert image.read_bytes(buf.base, 32) == b"\0" * 32
+
+    def test_image_object_at(self):
+        image = link(tiny_program())
+        buf = image.object_named("buf")
+        assert image.object_at(buf.base + 10).name == "buf"
+        assert image.object_at(0xDEAD0000) is None

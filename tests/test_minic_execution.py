@@ -1,0 +1,415 @@
+"""End-to-end execution semantics of compiled mini-C.
+
+Every test compiles a program, runs it on the simulator and checks the
+result against C semantics (computed in Python).  The hypothesis fuzzer at
+the bottom generates random expressions and cross-checks compiled results
+against a Python evaluator with 32-bit C semantics — a broad oracle over
+lexer, parser, sema, codegen, assembler, linker and simulator at once.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from .helpers import expr_value, returns, run_main
+
+
+def s32(value):
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class TestArithmetic:
+    def test_basics(self):
+        assert expr_value("1 + 2 * 3") == 7
+        assert expr_value("(1 + 2) * 3") == 9
+        assert expr_value("10 - 20") == -10
+        assert expr_value("6 * 7") == 42
+
+    def test_division_signs(self):
+        # Runtime division must truncate toward zero like C.
+        prelude = "int n; int d;"
+        for a, b in [(7, 2), (-7, 2), (7, -2), (-7, -2), (1, 7),
+                     (0, 5), (-2147483647, 3)]:
+            value = expr_value(f"n / d", prelude +
+                               f"""
+                               void setup(void) {{ n = {a}; d = {b}; }}
+                               """ if False else f"""
+                               int n = {a}; int d = {b};
+                               """)
+            assert value == int(a / b), (a, b)
+
+    def test_modulo_signs(self):
+        for a, b in [(7, 3), (-7, 3), (7, -3), (-7, -3)]:
+            value = expr_value("n % d", f"int n = {a}; int d = {b};")
+            assert value == a - b * int(a / b), (a, b)
+
+    def test_unsigned_division(self):
+        value = expr_value("a / b",
+                           "unsigned a = 0x80000000u; unsigned b = 3u;")
+        assert value == s32(0x80000000 // 3)
+
+    def test_shifts(self):
+        assert expr_value("1 << 20") == 1 << 20
+        assert expr_value("x >> 3", "int x = -64;") == -8   # arithmetic
+        assert expr_value("x >> 3", "unsigned x = 0x80000000u;") == \
+            s32(0x80000000 >> 3)                            # logical
+
+    def test_bitwise(self):
+        assert expr_value("(0x0F0F & 0x00FF) | 0x1000") == 0x100F
+        assert expr_value("0x0F ^ 0xFF") == 0xF0
+        assert expr_value("~0") == -1
+
+    def test_unary(self):
+        assert expr_value("-x", "int x = 5;") == -5
+        assert expr_value("!x", "int x = 5;") == 0
+        assert expr_value("!x", "int x = 0;") == 1
+
+    def test_wraparound(self):
+        assert expr_value("x + 1", "int x = 2147483647;") == -2147483648
+        assert expr_value("x * x", "int x = 65536;") == 0
+
+    def test_large_constants(self):
+        assert expr_value("305419896") == 305419896        # pool literal
+        assert expr_value("x", "int x = -305419896;") == -305419896
+        assert expr_value("513") == 513                    # 16-bit synth
+        assert expr_value("65535") == 65535
+        assert expr_value("x", "int x = -65535;") == -65535
+
+
+class TestComparisons:
+    def test_signed(self):
+        assert expr_value("a < b", "int a = -1; int b = 0;") == 1
+        assert expr_value("a > b", "int a = -1; int b = 0;") == 0
+        assert expr_value("a <= a", "int a = 7;") == 1
+        assert expr_value("a >= b", "int a = 3; int b = 4;") == 0
+
+    def test_unsigned(self):
+        prelude = "unsigned a = 0xFFFFFFFFu; unsigned b = 0u;"
+        assert expr_value("a < b", prelude) == 0
+        assert expr_value("a > b", prelude) == 1
+
+    def test_mixed_signedness_is_unsigned(self):
+        # -1 compared against unsigned 0 behaves as 0xFFFFFFFF.
+        assert expr_value("a < b", "int a = -1; unsigned b = 0u;") == 0
+
+    def test_equality(self):
+        assert expr_value("a == b", "int a = -5; int b = -5;") == 1
+        assert expr_value("a != b", "int a = 1; int b = 2;") == 1
+
+
+class TestLogicalAndControl:
+    def test_short_circuit_and(self):
+        source = """
+        int calls;
+        int bump(void) { calls = calls + 1; return 1; }
+        int main(void) {
+            calls = 0;
+            if (0 && bump()) { }
+            return calls;
+        }
+        """
+        assert returns(source) == 0
+
+    def test_short_circuit_or(self):
+        source = """
+        int calls;
+        int bump(void) { calls = calls + 1; return 0; }
+        int main(void) {
+            calls = 0;
+            if (1 || bump()) { }
+            return calls;
+        }
+        """
+        assert returns(source) == 0
+
+    def test_logical_as_value(self):
+        assert expr_value("(a && b) + (a || c)",
+                          "int a = 3; int b = 0; int c = 2;") == 1
+
+    def test_ternary(self):
+        assert expr_value("a ? 10 : 20", "int a = 1;") == 10
+        assert expr_value("a ? 10 : 20", "int a = 0;") == 20
+
+    def test_nested_if_else(self):
+        source = """
+        int classify(int x) {
+            if (x < 0) { return -1; }
+            else if (x == 0) { return 0; }
+            else if (x < 10) { return 1; }
+            return 2;
+        }
+        int main(void) {
+            return classify(-5) + 1 + (classify(0) + 1) * 10
+                 + (classify(5) + 1) * 100 + classify(50) * 1000;
+        }
+        """
+        assert returns(source) == 0 + 10 + 200 + 2000
+
+    def test_loops(self):
+        source = """
+        int main(void) {
+            int total = 0;
+            int i = 0;
+            while (i < 5) { total += i; i++; }
+            do { total += 100; } while (0);
+            for (i = 10; i > 0; i -= 3) { total += 1; }
+            return total;
+        }
+        """
+        assert returns(source) == 10 + 100 + 4
+
+    def test_break_continue(self):
+        source = """
+        int main(void) {
+            int total = 0;
+            int i;
+            for (i = 0; i < 10; i++) {
+                if (i == 3) { continue; }
+                if (i == 6) { break; }
+                total += i;
+            }
+            return total;
+        }
+        """
+        assert returns(source) == 0 + 1 + 2 + 4 + 5
+
+
+class TestDataTypes:
+    def test_short_sign_extension(self):
+        assert expr_value("s", "short s = -100;") == -100
+        assert expr_value("s", "short s = 70000;") == s32(70000 & 0xFFFF
+                                                          | (0xFFFF0000 if
+                                                             70000 & 0x8000
+                                                             else 0))
+
+    def test_char_zero_extension(self):
+        assert expr_value("c", "char c = 200;") == 200
+        assert expr_value("c", "char c = 300;") == 300 & 0xFF
+
+    def test_short_array_roundtrip(self):
+        source = """
+        short vals[4];
+        int main(void) {
+            vals[0] = -1000;
+            vals[1] = 1000;
+            vals[2] = (short)70000;
+            return (vals[0] == -1000) + (vals[1] == 1000) * 2
+                 + (vals[2] == 4464) * 4;
+        }
+        """
+        assert returns(source) == 7
+
+    def test_char_array(self):
+        source = """
+        char bytes[8];
+        int main(void) {
+            int i;
+            for (i = 0; i < 8; i++) { bytes[i] = (char)(250 + i); }
+            return bytes[0] + bytes[7];
+        }
+        """
+        assert returns(source) == ((250 + 257 % 256)) & 0xFF
+
+    def test_casts(self):
+        assert expr_value("(char)x", "int x = 0x1FF;") == 0xFF
+        assert expr_value("(short)x", "int x = 0x18000;") == -32768
+        assert expr_value("(int)(unsigned)x", "int x = -1;") == -1
+
+    def test_global_scalar_init(self):
+        assert expr_value("g", "int g = -12345;") == -12345
+        assert expr_value("g", "short g = -42;") == -42
+
+    def test_const_table(self):
+        source = """
+        const int table[5] = {10, 20, 30, 40, 50};
+        int main(void) {
+            int i;
+            int total = 0;
+            for (i = 0; i < 5; i++) { total += table[i]; }
+            return total;
+        }
+        """
+        assert returns(source) == 150
+
+    def test_partial_array_init_zero_fill(self):
+        source = """
+        int t[6] = {1, 2};
+        int main(void) { return t[0] + t[1] + t[5]; }
+        """
+        assert returns(source) == 3
+
+
+class TestFunctions:
+    def test_recursion_simulates(self):
+        # WCET rejects recursion, but the simulator runs it fine.
+        source = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        int main(void) { return fact(6); }
+        """
+        assert returns(source) == 720
+
+    def test_many_arguments_stack_passing(self):
+        source = """
+        int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+            return a + b * 2 + c * 4 + d * 8 + e * 16 + f * 32
+                 + g * 64 + h * 128;
+        }
+        int main(void) {
+            return sum8(1, 1, 1, 1, 1, 1, 1, 0) & 255;
+        }
+        """
+        assert returns(source) == 127
+
+    def test_five_args(self):
+        source = """
+        int pick(int a, int b, int c, int d, int e) { return e; }
+        int main(void) { return pick(1, 2, 3, 4, 5); }
+        """
+        assert returns(source) == 5
+
+    def test_nested_calls_in_expressions(self):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int main(void) {
+            return add(add(1, 2), add(add(3, 4), 5));
+        }
+        """
+        assert returns(source) == 15
+
+    def test_pointer_parameters(self):
+        source = """
+        int a[4] = {1, 2, 3, 4};
+        short b[4] = {10, 20, 30, 40};
+        int sum_int(int p[], int n) {
+            int i; int t = 0;
+            for (i = 0; i < n; i++) { t += p[i]; }
+            return t;
+        }
+        int sum_short(short p[], int n) {
+            int i; int t = 0;
+            for (i = 0; i < n; i++) { t += p[i]; }
+            return t;
+        }
+        int main(void) { return sum_int(a, 4) + sum_short(b, 4); }
+        """
+        assert returns(source) == 10 + 100
+
+    def test_void_function_call(self):
+        source = """
+        int counter;
+        void tick(void) { counter = counter + 1; }
+        int main(void) {
+            counter = 0;
+            tick(); tick(); tick();
+            return counter;
+        }
+        """
+        assert returns(source) == 3
+
+    def test_builtin_print(self):
+        result = run_main("""
+        int main(void) {
+            __print_int(-42);
+            __print_char('A');
+            return 0;
+        }
+        """)
+        assert result.console == ["-42", "A"]
+
+
+class TestAssignment:
+    def test_assignment_value_narrows(self):
+        source = """
+        short s;
+        int main(void) { return (s = (short)40000) == -25536; }
+        """
+        assert returns(source) == 1
+
+    def test_compound_operators(self):
+        source = """
+        int main(void) {
+            int x = 100;
+            x += 10; x -= 5; x *= 2; x /= 3; x %= 50;
+            x <<= 2; x >>= 1; x &= 0xFF; x |= 0x100; x ^= 0x10;
+            return x;
+        }
+        """
+        x = 100
+        x += 10; x -= 5; x *= 2; x //= 3; x %= 50
+        x <<= 2; x >>= 1; x &= 0xFF; x |= 0x100; x ^= 0x10
+        assert returns(source) == x
+
+    def test_array_element_update(self):
+        source = """
+        int t[3];
+        int main(void) {
+            t[1] = 5;
+            t[1] += 10;
+            t[1]++;
+            return t[1];
+        }
+        """
+        assert returns(source) == 16
+
+
+# -- hypothesis: random expression fuzzing -------------------------------------
+
+_VAR_VALUES = {"va": 17, "vb": -9, "vc": 123456, "vd": -3}
+
+
+@st.composite
+def c_expression(draw, depth=0):
+    """Random mini-C int expression with its Python value."""
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 1))
+        if choice == 0:
+            value = draw(st.integers(-1000, 1000))
+            return f"({value})", value
+        name = draw(st.sampled_from(sorted(_VAR_VALUES)))
+        return name, _VAR_VALUES[name]
+    op = draw(st.sampled_from(
+        ["+", "-", "*", "&", "|", "^", "<<", ">>", "<", ">", "==", "!="]))
+    left_text, left_val = draw(c_expression(depth=depth + 1))
+    right_text, right_val = draw(c_expression(depth=depth + 1))
+    if op == "<<" or op == ">>":
+        shift = draw(st.integers(0, 31))
+        right_text, right_val = str(shift), shift
+    text = f"({left_text} {op} {right_text})"
+    a, b = left_val, right_val
+    if op == "+":
+        value = s32(a + b)
+    elif op == "-":
+        value = s32(a - b)
+    elif op == "*":
+        value = s32(a * b)
+    elif op == "&":
+        value = s32(a & b)
+    elif op == "|":
+        value = s32(a | b)
+    elif op == "^":
+        value = s32(a ^ b)
+    elif op == "<<":
+        value = s32(a << b)
+    elif op == ">>":
+        value = a >> b  # both operands signed here: arithmetic shift
+    elif op == "<":
+        value = 1 if a < b else 0
+    elif op == ">":
+        value = 1 if a > b else 0
+    elif op == "==":
+        value = 1 if a == b else 0
+    else:
+        value = 1 if a != b else 0
+    return text, value
+
+
+@settings(max_examples=40, deadline=None)
+@given(c_expression())
+def test_random_expressions_match_python(expr):
+    text, expected = expr
+    prelude = "".join(f"int {name} = {value};\n"
+                      for name, value in _VAR_VALUES.items())
+    assert expr_value(text, prelude) == expected

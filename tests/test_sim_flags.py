@@ -1,0 +1,164 @@
+"""ARM flag semantics in the simulator, cross-checked against a model.
+
+Flags drive every conditional branch, so errors here would silently warp
+control flow.  The hypothesis suite runs random ALU op sequences and
+compares N/Z/C/V and register values against a bit-precise Python model.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Label
+from repro.isa import instruction as ins
+from repro.isa.opcodes import Cond, Op
+from repro.link import FunctionCode, Program, link
+from repro.memory import SystemConfig
+from repro.sim import Simulator
+
+_M32 = 0xFFFFFFFF
+
+
+def run_flags(setup_items):
+    """Run items then capture (regs, NZCV)."""
+    items = [Label("_start")] + setup_items + [ins.swi(0)]
+    program = Program(functions=[FunctionCode("_start", items)])
+    sim = Simulator(link(program), SystemConfig.uncached())
+    sim.run()
+    return sim
+
+
+def load_reg(reg, value):
+    """Instruction sequence materialising an arbitrary 32-bit value."""
+    value &= _M32
+    out = [ins.movi(reg, (value >> 24) & 0xFF)]
+    for shift in (16, 8, 0):
+        out.append(ins.shift_i(Op.LSLI, reg, reg, 8))
+        byte = (value >> shift) & 0xFF
+        if byte:
+            out.append(ins.addi(reg, byte))
+    return out
+
+
+class TestAddSubFlags:
+    def test_add_carry_out(self):
+        sim = run_flags(load_reg(0, 0xFFFFFFFF) + load_reg(1, 1)
+                        + [ins.add_r(0, 0, 1)])
+        assert sim.regs[0] == 0
+        assert (sim.z, sim.c, sim.v) == (1, 1, 0)
+
+    def test_add_signed_overflow(self):
+        sim = run_flags(load_reg(0, 0x7FFFFFFF) + load_reg(1, 1)
+                        + [ins.add_r(0, 0, 1)])
+        assert (sim.n, sim.v) == (1, 1)
+
+    def test_sub_borrow_clear_carry(self):
+        sim = run_flags([ins.movi(0, 3), ins.movi(1, 5),
+                         ins.sub_r(0, 0, 1)])
+        assert sim.c == 0            # borrow -> C clear (ARM style)
+        assert sim.n == 1
+
+    def test_sub_no_borrow_sets_carry(self):
+        sim = run_flags([ins.movi(0, 5), ins.movi(1, 3),
+                         ins.sub_r(0, 0, 1)])
+        assert sim.c == 1 and sim.z == 0
+
+    def test_cmp_equal_sets_z(self):
+        sim = run_flags([ins.movi(0, 9), ins.cmpi(0, 9)])
+        assert sim.z == 1 and sim.c == 1
+
+    def test_neg(self):
+        sim = run_flags([ins.movi(0, 1), ins.alu(Op.NEG, 0, 0)])
+        assert sim.regs[0] == 0xFFFFFFFF
+        assert sim.n == 1
+
+
+class TestConditionBranches:
+    def condition_taken(self, cond, a, b):
+        items = load_reg(0, a) + load_reg(1, b) + [
+            ins.alu(Op.CMP, 0, 1),
+            ins.bcc(cond, "yes"),
+            ins.movi(2, 0),
+            ins.b("end"),
+            Label("yes"), ins.movi(2, 1),
+            Label("end"),
+        ]
+        return run_flags(items).regs[2] == 1
+
+    def test_signed_vs_unsigned(self):
+        big_unsigned = 0xFFFFFFFF     # -1 signed
+        assert self.condition_taken(Cond.LT, big_unsigned, 0)   # -1 < 0
+        assert not self.condition_taken(Cond.LO, big_unsigned, 0)
+        assert self.condition_taken(Cond.HI, big_unsigned, 0)
+        assert not self.condition_taken(Cond.GT, big_unsigned, 0)
+
+    def test_all_conditions_consistent(self):
+        pairs = [(5, 3), (3, 5), (4, 4), (0xFFFFFFF0, 2)]
+        for a, b in pairs:
+            sa = a - (1 << 32) if a & 0x80000000 else a
+            sb = b - (1 << 32) if b & 0x80000000 else b
+            expect = {
+                Cond.EQ: a == b, Cond.NE: a != b,
+                Cond.LT: sa < sb, Cond.GE: sa >= sb,
+                Cond.GT: sa > sb, Cond.LE: sa <= sb,
+                Cond.LO: a < b, Cond.HS: a >= b,
+                Cond.HI: a > b, Cond.LS: a <= b,
+            }
+            for cond, expected in expect.items():
+                assert self.condition_taken(cond, a, b) == expected, \
+                    (cond, a, b)
+
+
+# -- randomised ALU cross-check ------------------------------------------------
+
+_ALU_MODEL = {
+    Op.AND: lambda a, b: a & b,
+    Op.EOR: lambda a, b: a ^ b,
+    Op.ORR: lambda a, b: a | b,
+    Op.BIC: lambda a, b: a & ~b & _M32,
+    Op.MUL: lambda a, b: (a * b) & _M32,
+}
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    op=st.sampled_from(sorted(_ALU_MODEL, key=lambda o: o.value)),
+    a=st.integers(0, _M32),
+    b=st.integers(0, _M32),
+)
+def test_alu_results_match_model(op, a, b):
+    sim = run_flags(load_reg(0, a) + load_reg(1, b) + [ins.alu(op, 0, 1)])
+    expected = _ALU_MODEL[op](a, b)
+    assert sim.regs[0] == expected
+    assert sim.n == (1 if expected & 0x80000000 else 0)
+    assert sim.z == (1 if expected == 0 else 0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=st.integers(0, _M32), amount=st.integers(0, 31))
+def test_shift_results_match_model(a, amount):
+    sim = run_flags(load_reg(0, a) + [ins.movi(1, amount),
+                                      ins.alu(Op.LSL, 0, 1)])
+    assert sim.regs[0] == (a << amount) & _M32
+    sim = run_flags(load_reg(0, a) + [ins.movi(1, amount),
+                                      ins.alu(Op.LSR, 0, 1)])
+    assert sim.regs[0] == a >> amount
+    sim = run_flags(load_reg(0, a) + [ins.movi(1, amount),
+                                      ins.alu(Op.ASR, 0, 1)])
+    signed = a - (1 << 32) if a & 0x80000000 else a
+    assert sim.regs[0] == (signed >> amount) & _M32
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.integers(0, _M32), b=st.integers(0, _M32))
+def test_add_sub_flags_match_model(a, b):
+    sim = run_flags(load_reg(0, a) + load_reg(1, b) + [ins.add_r(2, 0, 1)])
+    total = a + b
+    assert sim.regs[2] == total & _M32
+    assert sim.c == (1 if total > _M32 else 0)
+    sa = a - (1 << 32) if a & 0x80000000 else a
+    sb = b - (1 << 32) if b & 0x80000000 else b
+    assert sim.v == (1 if not -2**31 <= sa + sb < 2**31 else 0)
+
+    sim = run_flags(load_reg(0, a) + load_reg(1, b) + [ins.sub_r(2, 0, 1)])
+    assert sim.regs[2] == (a - b) & _M32
+    assert sim.c == (1 if a >= b else 0)
+    assert sim.v == (1 if not -2**31 <= sa - sb < 2**31 else 0)

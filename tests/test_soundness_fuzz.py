@@ -1,0 +1,116 @@
+"""Soundness fuzzing: random structured programs, WCET >= simulation.
+
+Hypothesis generates random (but always-terminating) mini-C programs out
+of counted loops, branches on data, global-array traffic and helper
+calls; for each program and each memory system the analysed WCET bound
+must dominate the simulated cycle count.  This hunts for disagreements
+between the simulator's and the analyser's view of the machine — the
+class of bug that silently breaks the paper's entire methodology.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.link import link
+from repro.memory import CacheConfig, SystemConfig
+from repro.minic import compile_source
+from repro.sim import simulate
+from repro.wcet import analyze_wcet
+
+
+@st.composite
+def statement(draw, depth, names):
+    kind = draw(st.sampled_from(
+        ["assign", "array", "if", "loop"] if depth < 2
+        else ["assign", "array"]))
+    if kind == "assign":
+        target = draw(st.sampled_from(names))
+        source = draw(st.sampled_from(names))
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        constant = draw(st.integers(0, 200))
+        return f"{target} = {target} {op} ({source} + {constant});"
+    if kind == "array":
+        index = draw(st.integers(0, 15))
+        target = draw(st.sampled_from(names))
+        if draw(st.booleans()):
+            return f"buffer[{index}] = {target};"
+        return f"{target} = {target} + buffer[({target} & 15)];"
+    if kind == "if":
+        condition_var = draw(st.sampled_from(names))
+        threshold = draw(st.integers(0, 100))
+        then = draw(statement(depth + 1, names))
+        other = draw(statement(depth + 1, names))
+        return (f"if (({condition_var} & 255) < {threshold}) "
+                f"{{ {then} }} else {{ {other} }}")
+    # counted loop (auto-bounded by the compiler); one loop variable per
+    # nesting depth so inner loops never clobber an outer counter.
+    count = draw(st.integers(1, 6))
+    body = draw(statement(depth + 1, names))
+    return (f"for (loop_i{depth} = 0; loop_i{depth} < {count}; "
+            f"loop_i{depth}++) {{ {body} }}")
+
+
+@st.composite
+def random_program(draw):
+    names = ["va", "vb", "vc"]
+    seeds = [draw(st.integers(0, 10000)) for _ in names]
+    body = "\n    ".join(
+        draw(statement(0, names)) for _ in range(draw(st.integers(2, 6))))
+    decls = "\n    ".join(
+        f"int {name} = {seed};" for name, seed in zip(names, seeds))
+    return f"""
+int buffer[16];
+int main(void) {{
+    int loop_i0;
+    int loop_i1;
+    int loop_i2;
+    {decls}
+    {body}
+    return (va + vb + vc) & 255;
+}}
+"""
+
+
+CONFIGS = [
+    SystemConfig.uncached(),
+    SystemConfig.cached(CacheConfig(size=64)),
+    SystemConfig.cached(CacheConfig(size=256, assoc=2)),
+]
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_program())
+def test_wcet_dominates_simulation(source):
+    image = link(compile_source(source).program)
+    results = []
+    for config in CONFIGS:
+        sim = simulate(image, config)
+        wcet = analyze_wcet(image, config)
+        assert wcet.wcet >= sim.cycles, (config.name, source)
+        results.append(sim)
+    # Memory systems must never change computed values.
+    for sim in results[1:]:
+        assert sim.exit_code == results[0].exit_code
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_program(), st.integers(64, 512))
+def test_spm_placement_sound_and_value_preserving(source, spm_size):
+    compiled = compile_source(source)
+    baseline = link(compiled.program)
+    reference = simulate(baseline, SystemConfig.uncached())
+    # Place everything that fits, greedily by size.
+    objects = sorted(compiled.program.memory_objects(), key=lambda o: o[2])
+    chosen = []
+    used = 0
+    for name, _kind, size in objects:
+        aligned = (size + 3) & ~3
+        if used + aligned <= spm_size:
+            chosen.append(name)
+            used += aligned
+    image = link(compiled.program, spm_size=spm_size, spm_objects=chosen)
+    config = SystemConfig.scratchpad(spm_size)
+    sim = simulate(image, config)
+    wcet = analyze_wcet(image, config)
+    assert sim.exit_code == reference.exit_code
+    assert wcet.wcet >= sim.cycles
+    assert sim.cycles <= reference.cycles  # SPM can only help

@@ -1,0 +1,186 @@
+"""Whole-program WCET analysis: IPET values and the soundness guarantee."""
+
+import pytest
+
+from repro.isa import Label
+from repro.isa import instruction as ins
+from repro.link import FunctionCode, Program, link
+from repro.memory import CacheConfig, SystemConfig
+from repro.minic import compile_source
+from repro.sim import simulate
+from repro.wcet import WCETError, analyze_wcet
+from repro.wcet.ipet import IPETError
+
+from .helpers import run_main
+
+
+def both(source, config, **wcet_kwargs):
+    compiled = compile_source(source)
+    image = link(compiled.program)
+    sim = simulate(image, config)
+    wcet = analyze_wcet(image, config, **wcet_kwargs)
+    return sim, wcet
+
+
+class TestExactCases:
+    """Programs whose worst case equals the simulated path."""
+
+    def test_straightline_exact(self):
+        sim, wcet = both("int main(void) { return 2 + 3; }",
+                         SystemConfig.uncached())
+        assert wcet.wcet == sim.cycles
+
+    def test_counted_loop_exact(self):
+        source = """
+        int main(void) {
+            int i;
+            int t = 0;
+            for (i = 0; i < 37; i++) { t += i; }
+            return t & 255;
+        }
+        """
+        sim, wcet = both(source, SystemConfig.uncached())
+        assert wcet.wcet == sim.cycles
+
+    def test_nested_loops_exact(self):
+        source = """
+        int main(void) {
+            int i; int j; int t = 0;
+            for (i = 0; i < 6; i++) {
+                for (j = 0; j < 7; j++) { t += 1; }
+            }
+            return t;
+        }
+        """
+        sim, wcet = both(source, SystemConfig.uncached())
+        assert wcet.wcet == sim.cycles
+
+    def test_call_chain_exact(self):
+        source = """
+        int f(int x) { return x + 1; }
+        int g(int x) { return f(x) + f(x); }
+        int main(void) { return g(3); }
+        """
+        sim, wcet = both(source, SystemConfig.uncached())
+        assert wcet.wcet == sim.cycles
+
+    def test_branch_takes_max(self):
+        # WCET must assume the expensive branch; sim takes the cheap one.
+        source = """
+        int pay(int n) {
+            int i; int t = 0;
+            for (i = 0; i < 50; i++) { t += i; }
+            return t;
+        }
+        int main(void) {
+            int x = 0;
+            if (x) { return pay(1); }
+            return 0;
+        }
+        """
+        sim, wcet = both(source, SystemConfig.uncached())
+        assert wcet.wcet > sim.cycles * 3
+
+    def test_loop_total_bound_used(self):
+        source = """
+        int main(void) {
+            int i; int j; int t = 0;
+            for (i = 1; i < 9; i++) {
+                j = 0;
+                #pragma loopbound 8
+                #pragma loopbound_total 12
+                while (j < i) { j = j + 1; t = t + 1; }
+            }
+            return t;
+        }
+        """
+        compiled = compile_source(source)
+        image = link(compiled.program)
+        wcet_with_total = analyze_wcet(image, SystemConfig.uncached())
+        # Re-link without the total fact to measure its effect.
+        for func in compiled.program.functions:
+            func.loop_totals.clear()
+        image2 = link(compiled.program)
+        wcet_without = analyze_wcet(image2, SystemConfig.uncached())
+        assert wcet_with_total.wcet < wcet_without.wcet
+
+
+class TestSoundness:
+    CONFIGS = [
+        SystemConfig.uncached(),
+        SystemConfig.cached(CacheConfig(size=128)),
+        SystemConfig.cached(CacheConfig(size=1024)),
+        SystemConfig.cached(CacheConfig(size=1024, assoc=2)),
+        SystemConfig.cached(CacheConfig(size=512, unified=False)),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS,
+                             ids=lambda c: c.name + (
+                                 "i" if c.cache and not c.cache.unified
+                                 else ""))
+    @pytest.mark.parametrize("key", ["adpcm", "multisort", "sort_wc"])
+    def test_wcet_bounds_simulation(self, key, config):
+        from repro.benchmarks import get
+        image = link(compile_source(get(key).source()).program)
+        sim = simulate(image, config)
+        wcet = analyze_wcet(image, config)
+        assert wcet.wcet >= sim.cycles
+
+    @pytest.mark.parametrize("key", ["adpcm", "multisort"])
+    def test_persistence_still_sound_and_tighter(self, key):
+        from repro.benchmarks import get
+        config = SystemConfig.cached(CacheConfig(size=1024))
+        image = link(compile_source(get(key).source()).program)
+        sim = simulate(image, config)
+        plain = analyze_wcet(image, config, persistence=False)
+        persist = analyze_wcet(image, config, persistence=True)
+        assert sim.cycles <= persist.wcet <= plain.wcet
+
+    def test_spm_allocation_preserves_soundness(self):
+        from repro.benchmarks import get
+        from repro.workflow import Workflow
+        workflow = Workflow(get("adpcm").source())
+        for size in (128, 1024):
+            point = workflow.spm_point(size)
+            assert point.wcet.wcet >= point.sim.cycles
+
+
+class TestDiagnostics:
+    def test_unknown_entry(self):
+        image = link(compile_source("int main(void) {return 0;}").program)
+        with pytest.raises(WCETError):
+            analyze_wcet(image, SystemConfig.uncached(), entry="nope")
+
+    def test_recursion_detected(self):
+        source = """
+        int f(int n) { if (n <= 0) { return 0; } return f(n - 1); }
+        int main(void) { return f(3); }
+        """
+        image = link(compile_source(source).program)
+        with pytest.raises(Exception) as excinfo:
+            analyze_wcet(image, SystemConfig.uncached())
+        assert "recursi" in str(excinfo.value).lower()
+
+    def test_report_format(self):
+        image = link(compile_source("int main(void) {return 0;}").program)
+        result = analyze_wcet(image, SystemConfig.uncached())
+        report = result.report()
+        assert "WCET(_start)" in report
+        assert "main" in report
+
+    def test_block_counts_exposed(self):
+        image = link(compile_source("int main(void) {return 0;}").program)
+        result = analyze_wcet(image, SystemConfig.uncached())
+        assert "main" in result.block_counts
+        assert all(count >= 0
+                   for counts in result.block_counts.values()
+                   for count in counts.values())
+
+    def test_infinite_loop_rejected(self):
+        from repro.wcet import LoopError
+        func = FunctionCode("_start", [
+            Label("_start"), Label("spin"), ins.b("spin")])
+        image = link(Program(functions=[func]))
+        # Rejected as an unbounded loop (before IPET even runs).
+        with pytest.raises((IPETError, LoopError)):
+            analyze_wcet(image, SystemConfig.uncached())

@@ -1,0 +1,127 @@
+"""Annotation files (Figure 2): generation, structure, round-trip."""
+
+from repro.link import link
+from repro.memory import SystemConfig
+from repro.minic import compile_source
+from repro.wcet import format_annotations, generate_annotations, \
+    parse_annotations
+
+SOURCE = """
+const short table[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int values[16];
+char bytes[4];
+int main(void) {
+    int i; int t = 0;
+    for (i = 0; i < 8; i++) { t += table[i]; }
+    for (i = 0; i < 16; i++) { values[i] = t + i; }
+    bytes[0] = (char)t;
+    return t & 255;
+}
+"""
+
+
+def build(spm_size=0, spm_objects=()):
+    image = link(compile_source(SOURCE).program, spm_size=spm_size,
+                 spm_objects=spm_objects)
+    config = (SystemConfig.scratchpad(spm_size) if spm_size
+              else SystemConfig.uncached())
+    return image, generate_annotations(image, config)
+
+
+class TestGeneration:
+    def test_spm_area_first(self):
+        _image, annos = build(spm_size=256, spm_objects={"table"})
+        area = annos.areas[0]
+        assert area.comment == "Scratchpad"
+        assert area.cycles == 1
+        assert area.lo == 0 and area.hi == 255
+
+    def test_instruction_areas_are_16bit(self):
+        _image, annos = build()
+        code_areas = [a for a in annos.areas if "CODE-ONLY" in a.attributes]
+        assert code_areas
+        assert all(a.cycles == 2 for a in code_areas)
+
+    def test_literal_pools_are_32bit_readonly(self):
+        _image, annos = build()
+        pools = [a for a in annos.areas if "Literal pool" in a.comment]
+        assert pools
+        for pool in pools:
+            assert pool.cycles == 4
+            assert "READ-ONLY" in pool.attributes
+            assert "DATA-ONLY" in pool.attributes
+
+    def test_data_area_widths_follow_elements(self):
+        image, annos = build()
+        by_comment = {a.comment: a for a in annos.areas}
+        short_area = next(a for c, a in by_comment.items()
+                          if c.startswith("table"))
+        word_area = next(a for c, a in by_comment.items()
+                         if c.startswith("values"))
+        byte_area = next(a for c, a in by_comment.items()
+                         if c.startswith("bytes"))
+        assert short_area.cycles == 2   # 16-bit elements
+        assert word_area.cycles == 4    # 32-bit elements
+        assert byte_area.cycles == 2    # 8-bit: 2 cycles from Table 1
+
+    def test_readonly_flag_tracks_const(self):
+        _image, annos = build()
+        table_area = next(a for a in annos.areas
+                          if a.comment.startswith("table"))
+        values_area = next(a for a in annos.areas
+                           if a.comment.startswith("values"))
+        assert "READ-ONLY" in table_area.attributes
+        assert "READ-WRITE" in values_area.attributes
+
+    def test_areas_cover_all_main_objects(self):
+        # Every byte of every main-memory object lies in some area
+        # (code objects may be split into instruction/pool areas).
+        image, annos = build()
+        intervals = sorted((a.lo, a.hi + 1) for a in annos.areas)
+
+        def covered(lo, hi):
+            cursor = lo
+            for a_lo, a_hi in intervals:
+                if a_lo <= cursor < a_hi:
+                    cursor = a_hi
+                    if cursor >= hi:
+                        return True
+            return cursor >= hi
+
+        for obj in image.objects:
+            assert covered(obj.base, obj.end), obj.name
+
+    def test_spm_objects_not_duplicated(self):
+        _image, annos = build(spm_size=256, spm_objects={"table"})
+        assert not any(a.comment.startswith("table") for a in annos.areas)
+
+    def test_loop_bounds_and_accesses_present(self):
+        image, annos = build()
+        assert set(annos.loop_bounds.values()) == {8, 16}
+        assert annos.accesses
+        for addr, ranges in annos.accesses.items():
+            for lo, hi in ranges:
+                assert lo < hi
+
+
+class TestRoundTrip:
+    def test_format_parse_roundtrip(self):
+        _image, annos = build(spm_size=128, spm_objects={"bytes"})
+        text = format_annotations(annos)
+        parsed = parse_annotations(text)
+        assert parsed.areas == annos.areas
+        assert parsed.loop_bounds == annos.loop_bounds
+        assert parsed.accesses == annos.accesses
+
+    def test_figure2_style_output(self):
+        _image, annos = build(spm_size=128, spm_objects={"bytes"})
+        text = format_annotations(annos)
+        assert "# Scratchpad" in text
+        assert "MEMORY-AREA:" in text
+        assert "LOOP-BOUND:" in text
+        assert "READ-ONLY CODE-ONLY" in text
+
+    def test_parse_rejects_garbage(self):
+        import pytest
+        with pytest.raises(ValueError):
+            parse_annotations("NOT-A-KEY: 1 2 3")

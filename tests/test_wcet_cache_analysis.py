@@ -1,0 +1,170 @@
+"""Cache MUST analysis: abstract domain, classification, soundness."""
+
+import pytest
+
+from repro.link import link
+from repro.memory import CacheConfig, SystemConfig
+from repro.minic import compile_source
+from repro.sim import simulate
+from repro.wcet import AH, FM, NC, CacheAnalysis, build_all_cfgs
+from repro.wcet.cacheanalysis import MustCache
+from repro.wcet.stackdepth import stack_region
+
+
+class TestMustCacheDomain:
+    def config(self, assoc=1):
+        return CacheConfig(size=64 * assoc, assoc=assoc)
+
+    def test_access_then_contains(self):
+        state = MustCache(self.config())
+        state.access_block(5)
+        assert state.contains(5)
+
+    def test_direct_mapped_conflict_evicts(self):
+        state = MustCache(self.config())
+        state.access_block(0)
+        state.access_block(4)   # 4 sets: block 4 maps to set 0
+        assert not state.contains(0)
+        assert state.contains(4)
+
+    def test_lru_ages(self):
+        state = MustCache(self.config(assoc=2))
+        state.access_block(0)
+        state.access_block(4)
+        assert state.contains(0) and state.contains(4)
+        state.access_block(8)   # evicts 0 (age 1)
+        assert not state.contains(0)
+        assert state.contains(4) and state.contains(8)
+
+    def test_refresh_resets_age(self):
+        state = MustCache(self.config(assoc=2))
+        state.access_block(0)
+        state.access_block(4)
+        state.access_block(0)   # refresh
+        state.access_block(8)   # evicts 4 now
+        assert state.contains(0)
+        assert not state.contains(4)
+
+    def test_join_is_intersection_with_max_age(self):
+        config = self.config(assoc=2)
+        left = MustCache(config)
+        left.access_block(0)
+        left.access_block(4)    # ages: 4->0, 0->1
+        right = MustCache(config)
+        right.access_block(4)
+        right.access_block(0)   # ages: 0->0, 4->1
+        changed = left.join_with(right)
+        assert changed
+        # Both blocks present in both, but at max age 1 each.
+        assert left.sets[0][0] == 1
+        assert left.sets[0][4] == 1
+
+    def test_join_drops_one_sided_blocks(self):
+        config = self.config()
+        left = MustCache(config)
+        left.access_block(0)
+        right = MustCache(config)
+        changed = left.join_with(right)
+        assert changed
+        assert not left.contains(0)
+
+    def test_age_set_unknown_access(self):
+        config = self.config(assoc=2)
+        state = MustCache(config)
+        state.access_block(0)
+        state.age_set(0)
+        assert state.contains(0)     # aged to 1, still resident
+        state.age_set(0)
+        assert not state.contains(0)  # aged out
+
+    def test_write_no_evict(self):
+        config = self.config()
+        state = MustCache(config)
+        state.access_block(0)
+        state.age_set(0, evict=False)  # unknown write
+        assert state.contains(0)       # capped at assoc-1, not evicted
+
+    def test_copy_is_independent(self):
+        state = MustCache(self.config())
+        state.access_block(1)
+        clone = state.copy()
+        clone.access_block(5)
+        assert state.contains(1) and not state.contains(5)
+
+
+def analyze_program(source, cache, persistence=False):
+    image = link(compile_source(source).program)
+    cfgs = build_all_cfgs(image)
+    entry_by_addr = {c.entry: n for n, c in cfgs.items()}
+    rng = stack_region(cfgs, "_start", entry_by_addr)
+    analysis = CacheAnalysis(image, cfgs, cache, rng, "_start",
+                             persistence=persistence)
+    return image, cfgs, analysis.run()
+
+
+LOOP_SOURCE = """
+int total;
+int main(void) {
+    int i;
+    total = 0;
+    for (i = 0; i < 100; i++) { total += i; }
+    return total & 255;
+}
+"""
+
+
+class TestClassification:
+    def test_straightline_second_fetch_hits(self):
+        source = "int main(void) { return 7; }"
+        image, cfgs, result = analyze_program(source, CacheConfig(size=256))
+        # The very first fetch of the program is cold (NC); within the
+        # same 16-byte line, later fetches are guaranteed hits (AH).
+        assert result.fetch_class(image.entry) == NC
+        second = sorted(result.classes)[1]
+        assert result.fetch_class(second) == AH
+        classes = [e.fetch for e in result.classes.values()]
+        assert classes.count(AH) > classes.count(NC)
+
+    def test_must_only_loop_body_stays_nc_at_header(self):
+        # Without persistence the header join (cold path vs warm path)
+        # discards the warm information: no AH at the loop header line
+        # beyond what straight-line prefetch provides.
+        image, cfgs, result = analyze_program(LOOP_SOURCE,
+                                              CacheConfig(size=1024))
+        assert result.count(FM) == 0
+
+    def test_persistence_upgrades_loop_fetches(self):
+        image, cfgs, result = analyze_program(
+            LOOP_SOURCE, CacheConfig(size=1024), persistence=True)
+        assert result.count(FM) > 0
+
+    def test_icache_ignores_data(self):
+        image, cfgs, result = analyze_program(
+            LOOP_SOURCE, CacheConfig(size=1024, unified=False),
+            persistence=True)
+        # Data never clobbers: with persistence every loop fetch line
+        # is first-miss or always-hit.
+        assert result.count(FM) > 0
+
+
+class TestSoundness:
+    """The cornerstone property: AH-classified accesses never miss."""
+
+    @pytest.mark.parametrize("size", [64, 256, 1024])
+    @pytest.mark.parametrize("key", ["adpcm", "multisort"])
+    def test_always_hit_fetches_never_miss(self, key, size):
+        from repro.benchmarks import get
+        image = link(compile_source(get(key).source()).program)
+        cfgs = build_all_cfgs(image)
+        entry_by_addr = {c.entry: n for n, c in cfgs.items()}
+        rng = stack_region(cfgs, "_start", entry_by_addr)
+        cache = CacheConfig(size=size)
+        result = CacheAnalysis(image, cfgs, cache, rng, "_start").run()
+
+        sim = simulate(image, SystemConfig.cached(cache),
+                       record_misses=True)
+        for addr, entry in result.classes.items():
+            if entry.fetch == AH:
+                assert sim.fetch_misses.get(addr, 0) == 0, hex(addr)
+            if entry.data == AH:
+                assert sim.read_misses.get(addr, 0) == 0, hex(addr)

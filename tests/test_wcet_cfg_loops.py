@@ -1,0 +1,222 @@
+"""CFG reconstruction, dominators, natural loops, stack analysis."""
+
+import pytest
+
+from repro.link import link
+from repro.memory import SystemConfig
+from repro.minic import compile_source
+from repro.wcet import (
+    CFGError,
+    LoopError,
+    build_all_cfgs,
+    build_function_cfg,
+    compute_dominators,
+    find_natural_loops,
+    max_stack_depth,
+    resolve_bounds,
+    stack_region,
+)
+from repro.wcet.stackdepth import StackAnalysisError, frame_bytes
+
+
+def image_of(source):
+    return link(compile_source(source).program)
+
+
+SOURCE = """
+int total;
+int helper(int x) { return x * 2; }
+int main(void) {
+    int i;
+    total = 0;
+    for (i = 0; i < 10; i++) {
+        if (i & 1) { total += helper(i); }
+        else { continue; }
+    }
+    return total;
+}
+"""
+
+
+class TestCFG:
+    def test_blocks_and_edges(self):
+        image = image_of(SOURCE)
+        cfg = build_function_cfg(image, "main")
+        assert cfg.entry == image.symbols["main"]
+        # Every successor must be a block start.
+        for block in cfg.blocks.values():
+            for succ in block.succs:
+                assert succ in cfg.blocks
+
+    def test_exit_blocks_exist(self):
+        image = image_of(SOURCE)
+        for name in ("main", "helper"):
+            cfg = build_function_cfg(image, name)
+            assert cfg.exit_blocks
+
+    def test_call_sites_found(self):
+        image = image_of(SOURCE)
+        cfg = build_function_cfg(image, "main")
+        assert image.symbols["helper"] in cfg.calls
+        call_blocks = [b for b in cfg.blocks.values()
+                       if b.call_target is not None]
+        assert len(call_blocks) == 1
+
+    def test_literal_pools_not_decoded(self):
+        image = image_of(SOURCE)
+        cfg = build_function_cfg(image, "main")
+        base, end = image.function_range("main")
+        covered = set()
+        for block in cfg.blocks.values():
+            for addr, instr in block.instrs:
+                covered.add(addr)
+        # main uses a literal pool (address of `total`); at least one
+        # word inside the object is *not* decodable code.
+        assert len(covered) * 2 < end - base
+
+    def test_conditional_blocks_have_two_succs(self):
+        image = image_of(SOURCE)
+        cfg = build_function_cfg(image, "main")
+        two_way = [b for b in cfg.blocks.values() if len(b.succs) == 2]
+        assert two_way
+
+    def test_swi0_is_terminal(self):
+        image = image_of("int main(void) { return 0; }")
+        cfg = build_function_cfg(image, "_start")
+        terminal = [b for b in cfg.blocks.values()
+                    if not b.succs and not b.is_exit]
+        assert len(terminal) == 1
+
+    def test_all_cfgs(self):
+        image = image_of(SOURCE)
+        cfgs = build_all_cfgs(image)
+        assert set(cfgs) == {"_start", "main", "helper"}
+
+
+class TestDominatorsAndLoops:
+    def test_entry_dominates_everything(self):
+        image = image_of(SOURCE)
+        cfg = build_function_cfg(image, "main")
+        dom = compute_dominators(cfg)
+        for addr in cfg.blocks:
+            assert cfg.entry in dom[addr]
+
+    def test_loop_detected_with_bound(self):
+        image = image_of(SOURCE)
+        cfg = build_function_cfg(image, "main")
+        loops = resolve_bounds(cfg, image.loop_bounds, image.loop_totals)
+        assert len(loops) == 1
+        loop = next(iter(loops.values()))
+        assert loop.bound == 10
+        assert loop.back_edges
+        assert loop.entry_edges
+
+    def test_continue_creates_extra_back_edge(self):
+        # `continue` in a for loop branches to the update block, which
+        # shares the single back edge; in a while loop it adds one.
+        source = """
+        int main(void) {
+            int i = 0;
+            int t = 0;
+            #pragma loopbound 10
+            while (i < 10) {
+                i = i + 1;
+                if (i & 1) { continue; }
+                t = t + i;
+            }
+            return t;
+        }
+        """
+        image = image_of(source)
+        cfg = build_function_cfg(image, "main")
+        loops = find_natural_loops(cfg)
+        loop = next(iter(loops.values()))
+        assert len(loop.back_edges) == 2
+
+    def test_nested_loops(self):
+        source = """
+        int main(void) {
+            int i; int j; int t = 0;
+            for (i = 0; i < 4; i++) {
+                for (j = 0; j < 5; j++) { t += 1; }
+            }
+            return t;
+        }
+        """
+        image = image_of(source)
+        cfg = build_function_cfg(image, "main")
+        loops = resolve_bounds(cfg, image.loop_bounds, image.loop_totals)
+        bounds = sorted(l.bound for l in loops.values())
+        assert bounds == [4, 5]
+        # The inner loop's body is a subset of the outer loop's body.
+        by_size = sorted(loops.values(), key=lambda l: len(l.body))
+        assert by_size[0].body < by_size[1].body
+
+    def test_missing_bound_raises(self):
+        source = """
+        int main(void) {
+            int i = 10;
+            while (i) { i = i - 1; }
+            return 0;
+        }
+        """
+        image = image_of(source)
+        cfg = build_function_cfg(image, "main")
+        with pytest.raises(LoopError):
+            resolve_bounds(cfg, image.loop_bounds, image.loop_totals)
+
+    def test_total_only_bound_accepted(self):
+        source = """
+        int main(void) {
+            int i = 10;
+            #pragma loopbound_total 10
+            while (i) { i = i - 1; }
+            return 0;
+        }
+        """
+        image = image_of(source)
+        cfg = build_function_cfg(image, "main")
+        loops = resolve_bounds(cfg, image.loop_bounds, image.loop_totals)
+        loop = next(iter(loops.values()))
+        assert loop.bound is None
+        assert loop.bound_total == 10
+
+
+class TestStackAnalysis:
+    def test_frame_bytes(self):
+        image = image_of(SOURCE)
+        cfgs = build_all_cfgs(image)
+        # Every mini-C function pushes lr (4 bytes) at minimum.
+        assert frame_bytes(cfgs["helper"]) >= 4
+        assert frame_bytes(cfgs["main"]) > frame_bytes(cfgs["_start"])
+
+    def test_depth_includes_callees(self):
+        image = image_of(SOURCE)
+        cfgs = build_all_cfgs(image)
+        entry_by_addr = {c.entry: n for n, c in cfgs.items()}
+        depth_main = max_stack_depth(cfgs, "main", entry_by_addr)
+        depth_helper = max_stack_depth(cfgs, "helper", entry_by_addr)
+        assert depth_main > depth_helper
+
+    def test_stack_region_below_top(self):
+        from repro.memory.regions import STACK_TOP
+        image = image_of(SOURCE)
+        cfgs = build_all_cfgs(image)
+        entry_by_addr = {c.entry: n for n, c in cfgs.items()}
+        lo, hi = stack_region(cfgs, "_start", entry_by_addr)
+        assert hi == STACK_TOP
+        assert lo < hi
+
+    def test_recursion_rejected(self):
+        source = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        int main(void) { return fact(5); }
+        """
+        image = image_of(source)
+        cfgs = build_all_cfgs(image)
+        entry_by_addr = {c.entry: n for n, c in cfgs.items()}
+        with pytest.raises(StackAnalysisError):
+            max_stack_depth(cfgs, "main", entry_by_addr)

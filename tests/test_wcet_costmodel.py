@@ -1,0 +1,153 @@
+"""Cost model and data-access resolution units."""
+
+import pytest
+
+from repro.isa import Op
+from repro.isa import instruction as ins
+from repro.link import link
+from repro.link.objects import AccessNote
+from repro.memory import CacheConfig, SystemConfig
+from repro.memory.regions import MAIN_BASE, STACK_TOP
+from repro.minic import compile_source
+from repro.wcet.accesses import resolve_data_access
+from repro.wcet.cacheanalysis import AccessClass, AH, CacheAnalysisResult, \
+    NC
+from repro.wcet.costmodel import CostModel
+
+STACK = (STACK_TOP - 64, STACK_TOP)
+
+
+def image_for_notes():
+    return link(compile_source("""
+    int words[8];
+    short halves[8];
+    int main(void) {
+        int i; int t = 0;
+        for (i = 0; i < 8; i++) { t += words[i] + halves[i]; }
+        return t;
+    }
+    """).program)
+
+
+class TestResolveDataAccess:
+    def test_non_memory_op(self):
+        image = image_for_notes()
+        assert resolve_data_access(ins.movi(0, 1), 0, image, STACK) is None
+
+    def test_ldrpc_exact(self):
+        image = image_for_notes()
+        instr = ins.ldr_pc(0, byte_offset=8)
+        access = resolve_data_access(instr, 0x100, image, STACK)
+        assert access.exact
+        assert access.address == ((0x100 + 4) & ~3) + 8
+        assert access.width == 4 and not access.is_write
+
+    def test_sp_relative_is_stack_range(self):
+        image = image_for_notes()
+        access = resolve_data_access(ins.ldr_sp(0, 4), 0, image, STACK)
+        assert access.ranges == (STACK,)
+        assert not access.exact
+
+    def test_push_counts_words(self):
+        image = image_for_notes()
+        access = resolve_data_access(ins.push((0, 1, 2), lr=True), 0,
+                                     image, STACK)
+        assert access.count == 4
+        assert access.is_write
+
+    def test_note_resolution(self):
+        image = image_for_notes()
+        instr = ins.mem_r(Op.LDRW_R, 0, 1, 2)
+        instr_addr = 0x5000
+        image.access_notes[instr_addr] = AccessNote.whole_object(
+            "words", 32)
+        access = resolve_data_access(instr, instr_addr, image, STACK)
+        base = image.symbols["words"]
+        assert access.ranges == ((base, base + 32),)
+
+    def test_unannotated_load_is_unknown(self):
+        image = image_for_notes()
+        instr = ins.mem_r(Op.LDRW_R, 0, 1, 2)
+        access = resolve_data_access(instr, 0xEE00, image, STACK)
+        assert access.unknown
+
+
+def make_cache_result(config, classes=None):
+    result = CacheAnalysisResult(config=config)
+    result.classes.update(classes or {})
+    return result
+
+
+class TestCostModelUncached:
+    def cost_model(self, config):
+        return CostModel(config, {}, None)
+
+    def test_fetch_by_region(self):
+        spm_model = self.cost_model(SystemConfig.scratchpad(256))
+        assert spm_model.fetch_cost(0x10, ins.nop()) == 1
+        assert spm_model.fetch_cost(MAIN_BASE, ins.nop()) == 2
+        assert spm_model.fetch_cost(MAIN_BASE, ins.bl("x")) == 4
+
+    def test_branch_refill_in_base_cost(self):
+        model = self.cost_model(SystemConfig.uncached())
+        base, taken = model.instr_cost(MAIN_BASE, ins.b(0))
+        assert base == 2 + 2 and taken == 0
+        from repro.isa.opcodes import Cond
+        bcc = ins.bcc(Cond.EQ, 0)
+        base, taken = model.instr_cost(MAIN_BASE, bcc)
+        assert base == 2 and taken == 2
+
+    def test_data_cost_worst_region(self):
+        config = SystemConfig.scratchpad(256)
+        instr = ins.mem_r(Op.LDRW_R, 0, 1, 2)
+        accesses = {
+            0x100: __import__("repro.wcet.accesses",
+                              fromlist=["DataAccess"]).DataAccess(
+                width=4, is_write=False,
+                ranges=((0, 16), (MAIN_BASE, MAIN_BASE + 16))),
+        }
+        model = CostModel(config, accesses, None)
+        # One target range is SPM (1 cycle), one is main (4): worst = 4.
+        assert model.data_cost(0x100) == 4
+
+
+class TestCostModelCached:
+    def test_requires_analysis(self):
+        config = SystemConfig.cached(CacheConfig(size=64))
+        with pytest.raises(ValueError):
+            CostModel(config, {}, None)
+
+    def test_fetch_classified(self):
+        config = SystemConfig.cached(CacheConfig(size=64))
+        addr = MAIN_BASE
+        result = make_cache_result(
+            config.cache, {addr: AccessClass(fetch=AH)})
+        model = CostModel(config, {}, result)
+        assert model.fetch_cost(addr, ins.nop()) == 1
+        assert model.fetch_cost(addr + 2, ins.nop()) == 16  # NC default
+
+    def test_bl_straddling_lines(self):
+        config = SystemConfig.cached(CacheConfig(size=64))
+        result = make_cache_result(config.cache, {})
+        model = CostModel(config, {}, result)
+        same_line = MAIN_BASE            # 0 and 2 in one line
+        straddle = MAIN_BASE + 14        # 14 and 16 in two lines
+        assert model.fetch_cost(same_line, ins.bl("x")) == 17
+        assert model.fetch_cost(straddle, ins.bl("x")) == 32
+
+    def test_write_through_cost(self):
+        from repro.wcet.accesses import DataAccess
+        config = SystemConfig.cached(CacheConfig(size=64))
+        result = make_cache_result(config.cache, {})
+        accesses = {
+            0x10: DataAccess(width=2, is_write=True,
+                             ranges=((MAIN_BASE, MAIN_BASE + 2),)),
+        }
+        model = CostModel(config, accesses, result)
+        assert model.data_cost(0x10) == 2   # halfword store to main
+
+    def test_fm_penalty(self):
+        config = SystemConfig.cached(CacheConfig(size=64))
+        result = make_cache_result(config.cache, {})
+        model = CostModel(config, {}, result)
+        assert model.fetch_miss_penalty(0) == 16 - 1
