@@ -1,0 +1,56 @@
+"""Registry drift guard: sources and `BENCHMARKS` must stay in sync.
+
+The benchmark programs live as ``.mc`` data files while their golden
+outputs live in :mod:`repro.benchmarks.reference`; nothing but these
+tests ties the two together.  Every registry entry must have a readable
+source file, the source must compile, and the bit-exact Python reference
+must agree with an actual simulator run — so neither the registry, the
+sources nor the reference models can drift apart unnoticed.
+"""
+
+import pytest
+
+from repro.benchmarks import BENCHMARKS, get
+from repro.link import link
+from repro.memory import SystemConfig
+from repro.minic import compile_source
+from repro.sim import simulate
+
+ALL_KEYS = sorted(BENCHMARKS)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return {key: compile_source(get(key).source()) for key in ALL_KEYS}
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_source_is_readable(self, key):
+        bench = get(key)
+        assert bench.source_file.endswith(".mc")
+        source = bench.source()
+        assert isinstance(source, str) and source.strip(), \
+            f"{key}: empty or unreadable source {bench.source_file!r}"
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_source_compiles(self, compiled, key):
+        program = compiled[key].program
+        names = {func.name for func in program.functions}
+        assert "main" in names and "_start" in names
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_expected_contract(self, key):
+        console, exit_code = get(key).expected()
+        assert isinstance(console, list)
+        assert all(isinstance(line, str) for line in console)
+        assert 0 <= exit_code <= 255
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_expected_matches_simulator_run(self, compiled, key):
+        image = link(compiled[key].program)
+        result = simulate(image, SystemConfig.uncached())
+        expected_console, expected_exit = get(key).expected()
+        assert result.console == expected_console, \
+            f"{key}: reference model and simulator disagree"
+        assert result.exit_code == expected_exit
