@@ -13,6 +13,9 @@ Memory-system options shared by all subcommands::
 
     --spm N [--alloc energy|wcet]   scratchpad of N bytes (knapsack-filled)
     --cache N [--assoc K] [--icache] [--line L]
+    --dcache N                      split I/D: --cache is the I side
+    --l2 N [--l2-assoc K] [--l2-line L]   unified L2 behind the L1
+    --hybrid                        allow --spm AND --cache together
     (neither)                       plain main memory
 
 Examples::
@@ -20,6 +23,9 @@ Examples::
     repro-cc run task.c --spm 1024
     repro-cc wcet task.c --cache 512 --persistence
     repro-cc compare task.c --spm 512
+    repro-cc compare task.c --cache 256 --l2 2048
+    repro-cc wcet task.c --cache 256 --dcache 256
+    repro-cc run task.c --spm 512 --cache 256 --hybrid
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from .isa.disassembler import format_instr
 from .link.linker import link
 from .memory.cache import CacheConfig
 from .memory.hierarchy import SystemConfig
+from .memory.levels import CacheLevel, MainMemoryLevel, SpmLevel
 from .minic.frontend import compile_source
 from .sim.profile import build_profile
 from .sim.simulator import simulate
@@ -58,14 +65,67 @@ def _add_memory_options(parser):
                         help="cache line size in bytes (default 16)")
     parser.add_argument("--icache", action="store_true",
                         help="instruction-only cache (data bypasses)")
+    parser.add_argument("--dcache", type=int, metavar="BYTES",
+                        help="split I/D caches: --cache is the I side")
+    parser.add_argument("--l2", type=int, metavar="BYTES",
+                        help="unified second-level cache behind the L1")
+    parser.add_argument("--l2-assoc", type=int, default=1,
+                        help="L2 associativity (default 1)")
+    parser.add_argument("--l2-line", type=int, default=16,
+                        help="L2 line size in bytes (default 16)")
+    parser.add_argument("--hybrid", action="store_true",
+                        help="scratchpad with the cache behind it "
+                             "(allows --spm together with --cache)")
+
+
+def _config_for(args) -> SystemConfig:
+    """The SystemConfig the command-line options describe."""
+    if args.spm and args.cache and not args.hybrid:
+        raise SystemExit("choose --spm or --cache, not both "
+                         "(or pass --hybrid for a scratchpad+cache "
+                         "pipeline)")
+    if (args.dcache or args.l2) and not args.cache:
+        raise SystemExit("--dcache/--l2 need an L1 via --cache")
+    if args.dcache and args.icache:
+        raise SystemExit("--dcache already implies a split I/D level")
+    levels = []
+    name = []
+    if args.spm:
+        levels.append(SpmLevel(args.spm))
+        name.append(f"spm{args.spm}")
+    if args.cache:
+        if args.dcache:
+            icfg = CacheConfig(size=args.cache, line_size=args.line,
+                               assoc=args.assoc, unified=False)
+            dcfg = CacheConfig(size=args.dcache, line_size=args.line,
+                               assoc=args.assoc)
+            levels.append(CacheLevel.split(icfg, dcfg))
+            name.append(f"i{args.cache}+d{args.dcache}")
+        else:
+            l1 = CacheConfig(size=args.cache, line_size=args.line,
+                             assoc=args.assoc, unified=not args.icache)
+            levels.append(CacheLevel.unified(l1) if l1.unified
+                          else CacheLevel.instruction(l1))
+            name.append(f"cache{args.cache}")
+    if args.l2:
+        l2 = CacheConfig(size=args.l2, line_size=args.l2_line,
+                         assoc=args.l2_assoc)
+        levels.append(CacheLevel.unified(l2, name="L2"))
+        name.append(f"l2-{args.l2}")
+    if not levels:
+        return SystemConfig.uncached()
+    levels.append(MainMemoryLevel())
+    try:
+        return SystemConfig.with_levels("+".join(name), levels)
+    except ValueError as error:
+        raise SystemExit(f"invalid memory pipeline: {error}") from None
 
 
 def _build(args):
     """(image, config) for the requested memory system."""
     with open(args.source) as handle:
         compiled = compile_source(handle.read(), entry=args.entry)
-    if args.spm and args.cache:
-        raise SystemExit("choose --spm or --cache, not both")
+    config = _config_for(args)
     if args.spm:
         if args.alloc == "energy":
             baseline = link(compiled.program)
@@ -75,15 +135,14 @@ def _build(args):
             allocation = allocate_energy_optimal(compiled.program,
                                                  profile, args.spm)
         else:
-            allocation = allocate_wcet_driven(compiled.program, args.spm)
+            backing = (SystemConfig.cached(config.cache)
+                       if config.cache is not None else None)
+            allocation = allocate_wcet_driven(compiled.program, args.spm,
+                                              baseline_config=backing)
         image = link(compiled.program, spm_size=args.spm,
                      spm_objects=allocation.objects)
-        return image, SystemConfig.scratchpad(args.spm)
-    if args.cache:
-        cache = CacheConfig(size=args.cache, line_size=args.line,
-                            assoc=args.assoc, unified=not args.icache)
-        return link(compiled.program), SystemConfig.cached(cache)
-    return link(compiled.program), SystemConfig.uncached()
+        return image, config
+    return link(compiled.program), config
 
 
 def cmd_run(args):
@@ -95,7 +154,13 @@ def cmd_run(args):
     print(f"# cycles:       {result.cycles}")
     print(f"# instructions: {result.instructions}")
     print(f"# exit code:    {result.exit_code}")
-    if result.cache_stats is not None:
+    if len(result.level_stats) > 1:
+        for name, stats in result.level_stats.items():
+            total = stats.hits + stats.misses
+            print(f"# {name:5} cache:  {stats.hits} hits, "
+                  f"{stats.misses} misses "
+                  f"({100 * stats.misses / max(total, 1):.2f}% miss rate)")
+    elif result.cache_stats is not None:
         stats = result.cache_stats
         total = stats.hits + stats.misses
         print(f"# cache:        {stats.hits} hits, {stats.misses} misses "
@@ -114,6 +179,13 @@ def cmd_wcet(args):
         print(f"  cache classification: "
               f"{result.cache_result.count(AH)} always-hit, "
               f"{result.cache_result.count(FM)} first-miss")
+        hierarchy = result.hierarchy_result
+        if hierarchy is not None and len(hierarchy.levels) > 1:
+            for entry in hierarchy.levels[1:]:
+                deeper = entry.iresult or entry.dresult
+                print(f"  {entry.level.name} classification: "
+                      f"{deeper.count(AH)} always-hit "
+                      f"(of the L1 misses reaching it)")
     return 0
 
 

@@ -14,6 +14,7 @@ xtra_worstcase_sort   §4 — known worst-case-input precision check
 ablation_cacheconfig  §5 future work — i-cache / set-associative configs
 ablation_persistence  §5 — MUST-only vs. full cache analysis
 ablation_wcet_alloc   §5 future work — WCET-driven allocation
+ablation_multilevel   §5 future work — L1+L2 and split-I/D hierarchies
 ===================== ====================================================
 """
 

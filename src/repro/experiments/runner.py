@@ -15,6 +15,7 @@ import time
 
 from . import (
     ablation_cacheconfig,
+    ablation_multilevel,
     ablation_persistence,
     ablation_wcet_alloc,
     fig2_annotations,
@@ -37,6 +38,7 @@ EXPERIMENTS = {
     "fig6": fig6_adpcm.run,
     "worstcase": xtra_worstcase_sort.run,
     "ablation_cacheconfig": ablation_cacheconfig.run,
+    "ablation_multilevel": ablation_multilevel.run,
     "ablation_persistence": ablation_persistence.run,
     "ablation_wcet_alloc": ablation_wcet_alloc.run,
 }

@@ -18,6 +18,14 @@ from .timing import (
     instruction_extra_cycles,
 )
 from .cache import Cache, CacheConfig, CacheStats, ReplacementPolicy
+from .levels import (
+    Access,
+    CacheLevel,
+    MainMemoryLevel,
+    SpmLevel,
+    serve_costs,
+    validate_levels,
+)
 from .hierarchy import MemoryHierarchy, SystemConfig
 
 __all__ = [
@@ -26,5 +34,7 @@ __all__ = [
     "BRANCH_REFILL_CYCLES", "CACHE_HIT_CYCLES", "MAIN_CYCLES", "SPM_CYCLES",
     "AccessTiming", "instruction_extra_cycles",
     "Cache", "CacheConfig", "CacheStats", "ReplacementPolicy",
+    "Access", "CacheLevel", "MainMemoryLevel", "SpmLevel",
+    "serve_costs", "validate_levels",
     "MemoryHierarchy", "SystemConfig",
 ]

@@ -1,10 +1,12 @@
-"""Unified cache model (timing/tags only).
+"""Cache model (timing/tags only) — one instance per pipeline level.
 
 The paper's experimental configuration is a **unified direct-mapped cache
 with four 32-bit words per line** in front of 16-bit main memory, as found
 in ARM7 family parts.  The model here generalises to set-associative LRU
 (used for the paper's "future work" ablation) with direct-mapped as
-associativity 1.
+associativity 1, and serves as the tag array for *any* level of the
+composable pipeline in :mod:`repro.memory.levels` (L1, L2, or one side
+of a split I/D pair).
 
 The cache is *timing-only*: it tracks tags, not data.  With the modelled
 write-through / no-write-allocate policy, backing RAM is always current, so
@@ -150,6 +152,20 @@ class Cache:
         return False
 
     # -- public access operations -------------------------------------------
+
+    def access(self, addr: int, kind: str) -> bool:
+        """One access of *kind* (``"fetch"``/``"read"``/``"write"``).
+
+        Returns the explicit hit/miss outcome — callers must never infer
+        it from cycle counts (cycles are the hierarchy's business).
+        """
+        if kind == "fetch":
+            return self.fetch(addr)
+        if kind == "read":
+            return self.read(addr)
+        if kind == "write":
+            return self.write(addr)
+        raise ValueError(f"unknown access kind {kind!r}")
 
     def fetch(self, addr: int) -> bool:
         """Instruction fetch; returns hit and updates state/stats."""

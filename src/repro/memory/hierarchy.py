@@ -1,6 +1,7 @@
 """System configurations and the simulator-facing memory hierarchy.
 
-A :class:`SystemConfig` is one point in the paper's design space:
+A :class:`SystemConfig` is one point in the design space.  The paper's
+own three systems keep their dedicated constructors:
 
 * ``SystemConfig.scratchpad(n)`` — *n* bytes of SPM plus main memory
   (the paper's left branch, Figure 1);
@@ -8,10 +9,21 @@ A :class:`SystemConfig` is one point in the paper's design space:
   (the right branch);
 * ``SystemConfig.uncached()`` — main memory only (baseline / 0-byte SPM).
 
+Beyond the paper, a config is an ordered **level pipeline**
+(:mod:`repro.memory.levels`): an optional SPM region, any number of
+cache levels (unified, instruction-only, or split I/D), then main
+memory.  The future-work shapes get constructors too:
+
+* ``SystemConfig.hybrid(spm, cache)`` — SPM with a cache behind it;
+* ``SystemConfig.two_level(l1, l2)`` — an L2 behind the L1;
+* ``SystemConfig.split_l1(icache, dcache)`` — separate I/D caches;
+* ``SystemConfig.with_levels(name, levels)`` — anything else.
+
 :class:`MemoryHierarchy` turns a config into a stateful cycle model the
-simulator queries once per access.  The WCET analyser uses the same
-:class:`~repro.memory.timing.AccessTiming` constants and
-:class:`~repro.memory.cache.CacheConfig` geometry, so simulation and
+simulator queries once per access; every query returns an explicit
+:class:`~repro.memory.levels.Access` outcome (cycles, hit/miss, serving
+level).  The WCET analyser walks the *same* level specs and the same
+:func:`~repro.memory.levels.serve_costs` table, so simulation and
 analysis share one machine model by construction.
 """
 
@@ -21,23 +33,73 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .cache import Cache, CacheConfig
+from .levels import (
+    Access,
+    CacheLevel,
+    MainMemoryLevel,
+    SpmLevel,
+    cache_levels,
+    data_path,
+    fetch_path,
+    level_labels,
+    path_geometry,
+    serve_costs,
+    spm_level,
+    validate_levels,
+)
 from .regions import MemoryMap, RegionKind
-from .timing import CACHE_HIT_CYCLES, AccessTiming
+from .timing import AccessTiming
 
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """One memory-hierarchy configuration under study."""
+    """One memory-hierarchy configuration under study.
+
+    ``levels`` is the authoritative description.  When it is omitted the
+    legacy fields build the paper's shapes (and combining ``spm_size``
+    with ``cache`` is rejected, exactly as before — hybrids must be
+    spelled out via :meth:`hybrid` or ``levels``).  When ``levels`` is
+    given, ``spm_size`` and ``cache`` are derived mirrors: the SPM
+    capacity and the outermost cache config on the fetch (else data)
+    path, kept so existing reporting code reads naturally.
+    """
 
     name: str
     spm_size: int = 0
     cache: Optional[CacheConfig] = None
     timing: AccessTiming = AccessTiming.table1()
+    levels: tuple = None
 
     def __post_init__(self):
-        if self.spm_size and self.cache is not None:
-            raise ValueError(
-                "the paper's systems have either a scratchpad or a cache")
+        if self.levels is None:
+            if self.spm_size and self.cache is not None:
+                raise ValueError(
+                    "the paper's systems have either a scratchpad or a "
+                    "cache; build hybrids with SystemConfig.hybrid() or "
+                    "an explicit level pipeline")
+            derived = []
+            if self.spm_size:
+                derived.append(SpmLevel(self.spm_size))
+            if self.cache is not None:
+                if self.cache.unified:
+                    derived.append(CacheLevel.unified(self.cache))
+                else:
+                    derived.append(CacheLevel.instruction(self.cache))
+            derived.append(MainMemoryLevel())
+            object.__setattr__(self, "levels", tuple(derived))
+        else:
+            levels = tuple(self.levels)
+            validate_levels(levels)
+            object.__setattr__(self, "levels", levels)
+            spm = spm_level(levels)
+            object.__setattr__(self, "spm_size", spm.size if spm else 0)
+            caches = cache_levels(levels)
+            primary = None
+            if caches:
+                primary = caches[0].icache or caches[0].dcache
+            object.__setattr__(self, "cache", primary)
+
+    # -- the paper's systems -------------------------------------------------
 
     @classmethod
     def scratchpad(cls, spm_size: int, timing=None) -> "SystemConfig":
@@ -53,67 +115,215 @@ class SystemConfig:
     def uncached(cls, timing=None) -> "SystemConfig":
         return cls(name="uncached", timing=timing or AccessTiming.table1())
 
+    # -- deeper pipelines (the future-work shapes) ---------------------------
+
+    @classmethod
+    def with_levels(cls, name: str, levels, timing=None) -> "SystemConfig":
+        return cls(name=name, levels=tuple(levels),
+                   timing=timing or AccessTiming.table1())
+
+    @classmethod
+    def hybrid(cls, spm_size: int, cache: CacheConfig,
+               timing=None) -> "SystemConfig":
+        """Scratchpad in front, a cache behind it for the rest."""
+        level = (CacheLevel.unified(cache) if cache.unified
+                 else CacheLevel.instruction(cache))
+        return cls.with_levels(
+            f"spm{spm_size}+cache{cache.size}",
+            (SpmLevel(spm_size), level, MainMemoryLevel()), timing)
+
+    @classmethod
+    def two_level(cls, l1: CacheConfig, l2: CacheConfig, timing=None,
+                  l2_hit_cycles: int = None) -> "SystemConfig":
+        """L1 (unified or instruction-only) backed by a unified L2."""
+        first = (CacheLevel.unified(l1) if l1.unified
+                 else CacheLevel.instruction(l1))
+        kwargs = {}
+        if l2_hit_cycles is not None:
+            kwargs["hit_cycles"] = l2_hit_cycles
+        second = CacheLevel.unified(l2, name="L2", **kwargs)
+        prefix = "cache" if l1.unified else "icache"
+        return cls.with_levels(
+            f"{prefix}{l1.size}+l2-{l2.size}",
+            (first, second, MainMemoryLevel()), timing)
+
+    @classmethod
+    def split_l1(cls, icache: CacheConfig, dcache: CacheConfig,
+                 timing=None) -> "SystemConfig":
+        """Separate L1 instruction and data caches."""
+        return cls.with_levels(
+            f"i{icache.size}+d{dcache.size}",
+            (CacheLevel.split(icache, dcache), MainMemoryLevel()), timing)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def cache_level_specs(self):
+        return cache_levels(self.levels)
+
+    @property
+    def has_cache(self) -> bool:
+        return bool(self.cache_level_specs)
+
+    def fetch_path(self):
+        return fetch_path(self.levels)
+
+    def data_path(self):
+        return data_path(self.levels)
+
     def memory_map(self) -> MemoryMap:
         if self.spm_size:
             return MemoryMap.with_spm(self.spm_size)
         return MemoryMap.main_only()
 
     def describe(self) -> str:
-        if self.spm_size:
-            return f"{self.spm_size} B scratchpad + main memory"
-        if self.cache is not None:
-            return self.cache.describe() + " + main memory"
-        return "main memory only"
+        parts = []
+        for level in self.levels:
+            if isinstance(level, SpmLevel):
+                parts.append(f"{level.size} B scratchpad")
+            elif isinstance(level, CacheLevel):
+                parts.append(level.describe())
+        parts.append("main memory")
+        if len(parts) == 1:
+            return "main memory only"
+        return " + ".join(parts)
 
 
 class MemoryHierarchy:
-    """Stateful per-access cycle model used by the simulator."""
+    """Stateful per-access cycle model used by the simulator.
+
+    Each cache level gets its own tag array (one shared array for a
+    unified level, two for split I/D).  An access walks its path
+    outermost-in until some level hits (or main memory serves it) and
+    returns a precomputed :class:`Access` outcome whose cycle count
+    comes from :func:`~repro.memory.levels.serve_costs` — the very table
+    the WCET cost model prices misses with.
+    """
 
     def __init__(self, config: SystemConfig):
         self.config = config
         self.memory_map = config.memory_map()
         self.timing = config.timing
-        self.cache = Cache(config.cache) if config.cache else None
         self._spm = self.memory_map.spm_region
-        self._miss_cycles = (
-            self.timing.line_fill_cycles(config.cache.line_size)
-            if config.cache else 0)
+
+        # Physical caches: one per unified level, two per split level.
+        self.caches = {}  # display name -> Cache
+        self._fetch_chain = []  # [(Cache, level name)]
+        self._data_chain = []
+        for level in config.cache_level_specs:
+            labels = iter(level_labels(level))
+            if level.shared:
+                cache = Cache(level.icache)
+                self.caches[next(labels)] = cache
+                self._fetch_chain.append(cache)
+                self._data_chain.append(cache)
+                continue
+            if level.icache is not None:
+                cache = Cache(level.icache)
+                self.caches[next(labels)] = cache
+                self._fetch_chain.append(cache)
+            if level.dcache is not None:
+                cache = Cache(level.dcache)
+                self.caches[next(labels)] = cache
+                self._data_chain.append(cache)
+
+        # Legacy single-cache view (simulator flags, cache_stats).
+        self.cache = next(iter(self.caches.values()), None)
+
+        timing = self.timing
+        fetch_levels = config.fetch_path()
+        data_levels = config.data_path()
+        fetch_serve = serve_costs(path_geometry(fetch_levels, "i"), timing)
+        data_serve = serve_costs(path_geometry(data_levels, "d"), timing)
+
+        def outcomes(path_levels, serve):
+            out = []
+            for idx, cost in enumerate(serve):
+                if idx < len(path_levels):
+                    served = path_levels[idx].name
+                else:
+                    served = "main"
+                out.append(Access(cost, idx > 0, served))
+            return out
+
+        self._fetch_out = outcomes(fetch_levels, fetch_serve)
+        self._data_out = outcomes(data_levels, data_serve)
+        spm_kind, main_kind = RegionKind.SPM, RegionKind.MAIN
+        self._spm_out = {
+            width: Access(timing.cycles(spm_kind, width), False, "spm")
+            for width in (1, 2, 4)}
+        self._main_out = {
+            width: Access(timing.cycles(main_kind, width), False, "main")
+            for width in (1, 2, 4)}
 
     def reset(self):
-        if self.cache:
-            self.cache.reset()
+        for cache in self.caches.values():
+            cache.reset()
+
+    # -- access outcomes -----------------------------------------------------
+
+    def fetch(self, addr: int) -> Access:
+        """Outcome of a 16-bit instruction fetch at *addr*."""
+        spm = self._spm
+        if spm is not None and spm.contains(addr):
+            return self._spm_out[2]
+        chain = self._fetch_chain
+        if not chain:
+            return self._main_out[2]
+        for idx, cache in enumerate(chain):
+            if cache.fetch(addr):
+                return self._fetch_out[idx]
+        return self._fetch_out[len(chain)]
+
+    def read(self, addr: int, width: int) -> Access:
+        """Outcome of a data read of *width* bytes at *addr*."""
+        spm = self._spm
+        if spm is not None and spm.contains(addr):
+            return self._spm_out[width]
+        chain = self._data_chain
+        if not chain:
+            return self._main_out[width]
+        for idx, cache in enumerate(chain):
+            if cache.read(addr):
+                return self._data_out[idx]
+        return self._data_out[len(chain)]
+
+    def write(self, addr: int, width: int) -> Access:
+        """Outcome of a data write of *width* bytes at *addr*.
+
+        Write-through, no allocate, at every level: the store pays the
+        main-memory cost for its width; each level on the data path
+        keeps its tags informed so resident lines stay warm.
+        """
+        spm = self._spm
+        if spm is not None and spm.contains(addr):
+            return self._spm_out[width]
+        for cache in self._data_chain:
+            cache.write(addr)
+        return self._main_out[width]
+
+    # -- legacy cycle-count helpers ------------------------------------------
 
     def fetch_cycles(self, addr: int) -> int:
         """Cycles for a 16-bit instruction fetch at *addr*."""
-        if self._spm is not None and self._spm.contains(addr):
-            return self.timing.cycles(RegionKind.SPM, 2)
-        if self.cache is not None:
-            if self.cache.fetch(addr):
-                return CACHE_HIT_CYCLES
-            return self._miss_cycles
-        return self.timing.cycles(RegionKind.MAIN, 2)
+        return self.fetch(addr).cycles
 
     def read_cycles(self, addr: int, width: int) -> int:
         """Cycles for a data read of *width* bytes at *addr*."""
-        if self._spm is not None and self._spm.contains(addr):
-            return self.timing.cycles(RegionKind.SPM, width)
-        if self.cache is not None and self.config.cache.unified:
-            if self.cache.read(addr):
-                return CACHE_HIT_CYCLES
-            return self._miss_cycles
-        return self.timing.cycles(RegionKind.MAIN, width)
+        return self.read(addr, width).cycles
 
     def write_cycles(self, addr: int, width: int) -> int:
         """Cycles for a data write of *width* bytes at *addr*."""
-        if self._spm is not None and self._spm.contains(addr):
-            return self.timing.cycles(RegionKind.SPM, width)
-        if self.cache is not None and self.config.cache.unified:
-            # Write-through, no allocate: pay the memory cost; keep tags
-            # informed so later reads of a resident line still hit.
-            self.cache.write(addr)
-            return self.timing.cycles(RegionKind.MAIN, width)
-        return self.timing.cycles(RegionKind.MAIN, width)
+        return self.write(addr, width).cycles
+
+    # -- statistics ----------------------------------------------------------
 
     @property
     def cache_stats(self):
+        """Stats of the outermost cache (the paper's single-cache view)."""
         return self.cache.stats if self.cache else None
+
+    @property
+    def level_stats(self):
+        """Hit/miss counters for every physical cache, by level name."""
+        return {name: cache.stats for name, cache in self.caches.items()}

@@ -8,9 +8,12 @@ The modelled platform follows the paper's ATMEL AT91EB01-style layout:
   2 cycles and 32-bit accesses take 4 (Table 1);
 * the stack at the top of main memory.
 
-A system has either a scratchpad *or* a unified cache in front of main
-memory (the paper compares the two), which is captured by
-:class:`SystemConfig` in :mod:`repro.memory.hierarchy`.
+The paper's systems have either a scratchpad *or* a unified cache in
+front of main memory; the level pipeline of
+:class:`~repro.memory.hierarchy.SystemConfig` generalises this to any
+ordered combination (hybrid SPM+cache, L1+L2, split I/D).  The address
+*map* stays the same either way: caches are transparent, only the SPM
+occupies address space.
 """
 
 from __future__ import annotations

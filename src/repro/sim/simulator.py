@@ -35,7 +35,6 @@ from ..memory.hierarchy import MemoryHierarchy, SystemConfig
 from ..memory.regions import MAIN_BASE, STACK_TOP
 from ..memory.timing import (
     BRANCH_REFILL_CYCLES,
-    CACHE_HIT_CYCLES,
     instruction_extra_cycles,
 )
 from ..link.image import Image
@@ -61,12 +60,17 @@ class SimResult:
     exit_code: int
     console: list = field(default_factory=list)
     cache_stats: object = None
+    #: level name -> CacheStats for every cache in the hierarchy.
+    level_stats: dict = field(default_factory=dict)
     #: instruction address -> fetch count (profile runs only).
     fetch_counts: dict = field(default_factory=dict)
     #: data address -> access count (profile runs only).
     data_counts: dict = field(default_factory=dict)
     #: instruction address -> fetch miss count (cache configs only).
     fetch_misses: dict = field(default_factory=dict)
+    #: instruction address -> fetches that missed *every* cache level
+    #: and were served by main memory (cache configs only).
+    fetch_main_misses: dict = field(default_factory=dict)
     #: instruction address -> data-read miss count (cache configs only).
     read_misses: dict = field(default_factory=dict)
 
@@ -201,7 +205,6 @@ class Simulator:
         pc = self.image.entry
         code = self.code
         hierarchy = self.hierarchy
-        cached = hierarchy.cache is not None
         console = []
         cycles = 0
         steps = 0
@@ -209,23 +212,24 @@ class Simulator:
         fetch_counts = {}
         data_counts = {}
         fetch_misses = {}
+        fetch_main_misses = {}
         read_misses = {}
 
         def data_read(instr_pc, addr, width, signed=False):
             nonlocal cycles
             value = self.read_mem(addr, width, signed)
-            cost = hierarchy.read_cycles(addr, width)
-            cycles += cost
+            outcome = hierarchy.read(addr, width)
+            cycles += outcome.cycles
             if profile:
                 data_counts[addr] = data_counts.get(addr, 0) + 1
-            if record_misses and cached and cost > CACHE_HIT_CYCLES:
+            if record_misses and outcome.missed:
                 read_misses[instr_pc] = read_misses.get(instr_pc, 0) + 1
             return value
 
         def data_write(addr, width, value):
             nonlocal cycles
             self.write_mem(addr, width, value)
-            cycles += hierarchy.write_cycles(addr, width)
+            cycles += hierarchy.write(addr, width).cycles
             if profile:
                 data_counts[addr] = data_counts.get(addr, 0) + 1
 
@@ -233,15 +237,23 @@ class Simulator:
             instr = code.get(pc)
             if instr is None:
                 raise SimError(f"pc escaped code objects: {pc:#x}")
-            fetch_cost = hierarchy.fetch_cycles(pc)
+            fetch = hierarchy.fetch(pc)
+            fetch_missed = fetch.missed
+            from_main = fetch_missed and fetch.served_by == "main"
+            cycles += fetch.cycles
             if instr.size == 4:  # BL is two halfword fetches
-                fetch_cost += hierarchy.fetch_cycles(pc + 2)
-            cycles += fetch_cost
+                second = hierarchy.fetch(pc + 2)
+                fetch_missed = fetch_missed or second.missed
+                from_main = from_main or (
+                    second.missed and second.served_by == "main")
+                cycles += second.cycles
             if profile:
                 fetch_counts[pc] = fetch_counts.get(pc, 0) + 1
-            if record_misses and cached and fetch_cost > (
-                    CACHE_HIT_CYCLES * (instr.size // 2)):
+            if record_misses and fetch_missed:
                 fetch_misses[pc] = fetch_misses.get(pc, 0) + 1
+                if from_main:
+                    fetch_main_misses[pc] = \
+                        fetch_main_misses.get(pc, 0) + 1
             steps += 1
             op = instr.op
             next_pc = pc + instr.size
@@ -404,9 +416,11 @@ class Simulator:
             exit_code=exit_code,
             console=console,
             cache_stats=hierarchy.cache_stats,
+            level_stats=hierarchy.level_stats,
             fetch_counts=fetch_counts,
             data_counts=data_counts,
             fetch_misses=fetch_misses,
+            fetch_main_misses=fetch_main_misses,
             read_misses=read_misses,
         )
 

@@ -107,12 +107,22 @@ def wcet_cycle_benefits(image, result, timing: AccessTiming = None):
 
 
 def allocate_wcet_driven(program: Program, spm_size: int,
-                         entry: str = "_start") -> Allocation:
-    """Pick SPM contents to minimise the WCET bound (one-shot heuristic)."""
+                         entry: str = "_start",
+                         baseline_config: SystemConfig = None) -> Allocation:
+    """Pick SPM contents to minimise the WCET bound (one-shot heuristic).
+
+    *baseline_config* is the memory system the all-in-main layout is
+    analysed under; it defaults to plain main memory.  Pass the cached
+    system when a cache sits behind the scratchpad (a hybrid pipeline)
+    so the critical-path block counts reflect that hierarchy — the
+    cycle pricing itself stays the Table-1 main-vs-SPM delta, an upper
+    estimate either way.
+    """
     if spm_size <= 0:
         return Allocation(spm_size=spm_size, method="wcet")
     baseline_image = link(program, spm_size=0)
-    baseline = analyze_wcet(baseline_image, SystemConfig.uncached(),
+    baseline = analyze_wcet(baseline_image,
+                            baseline_config or SystemConfig.uncached(),
                             entry=entry)
     benefits = wcet_cycle_benefits(baseline_image, baseline)
 

@@ -9,7 +9,15 @@ from .annotations import (
     generate_annotations,
     parse_annotations,
 )
-from .cacheanalysis import AH, FM, NC, CacheAnalysis, CacheAnalysisResult
+from .cacheanalysis import (
+    AH,
+    FM,
+    NC,
+    CacheAnalysis,
+    CacheAnalysisResult,
+    HierarchyCacheResult,
+    analyze_hierarchy,
+)
 from .cfg import BasicBlock, CFGError, FunctionCFG, build_all_cfgs, \
     build_function_cfg
 from .ipet import IPETError, IPETResult, solve_function_ipet
@@ -23,6 +31,7 @@ __all__ = [
     "AnnotationSet", "MemoryArea", "format_annotations",
     "generate_annotations", "parse_annotations",
     "AH", "FM", "NC", "CacheAnalysis", "CacheAnalysisResult",
+    "HierarchyCacheResult", "analyze_hierarchy",
     "BasicBlock", "CFGError", "FunctionCFG", "build_all_cfgs",
     "build_function_cfg",
     "IPETError", "IPETResult", "solve_function_ipet",

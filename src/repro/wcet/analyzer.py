@@ -21,7 +21,7 @@ from ..isa.opcodes import Op
 from ..link.image import Image
 from ..memory.hierarchy import SystemConfig
 from .accesses import resolve_data_access
-from .cacheanalysis import FM, CacheAnalysis
+from .cacheanalysis import FM, analyze_hierarchy
 from .cfg import build_all_cfgs
 from .costmodel import CostModel
 from .ipet import solve_function_ipet
@@ -41,7 +41,11 @@ class WCETResult:
     config: SystemConfig
     per_function: dict = field(default_factory=dict)
     stack_range: tuple = (0, 0)
+    #: outermost cache level's classification (the paper's single-cache
+    #: view); see ``hierarchy_result`` for the full level pipeline
     cache_result: object = None
+    #: per-level classifications (HierarchyCacheResult) for cached configs
+    hierarchy_result: object = None
     #: entry function analysed (usually ``_start``)
     entry: str = "_start"
     #: function -> {block addr -> executions per function invocation on
@@ -99,11 +103,12 @@ def analyze_wcet(image: Image, config: SystemConfig, entry: str = "_start",
 
     stack_rng = stack_region(cfgs, entry, entry_by_addr)
 
+    hierarchy_result = None
     cache_result = None
-    if config.cache is not None:
-        analysis = CacheAnalysis(image, cfgs, config.cache, stack_rng,
-                                 entry, persistence=persistence)
-        cache_result = analysis.run()
+    if config.has_cache:
+        hierarchy_result = analyze_hierarchy(
+            image, cfgs, config, stack_rng, entry, persistence=persistence)
+        cache_result = hierarchy_result.primary
 
     data_accesses = {}
     for cfg in cfgs.values():
@@ -112,7 +117,7 @@ def analyze_wcet(image: Image, config: SystemConfig, entry: str = "_start",
                 data_accesses[addr] = resolve_data_access(
                     instr, addr, image, stack_rng)
 
-    costs = CostModel(config, data_accesses, cache_result)
+    costs = CostModel(config, data_accesses, hierarchy_result)
 
     per_function = {}
     block_counts = {}
@@ -158,6 +163,7 @@ def analyze_wcet(image: Image, config: SystemConfig, entry: str = "_start",
         per_function=per_function,
         stack_range=stack_rng,
         cache_result=cache_result,
+        hierarchy_result=hierarchy_result,
         entry=entry,
         block_counts=block_counts,
         cfgs=cfgs,

@@ -24,6 +24,25 @@ The analysis runs over the interprocedural CFG (call and return edges,
 context-insensitive), then a classification pass labels every fetch and
 every data read as always-hit (AH) / not-classified (NC), plus first-miss
 (FM) with a loop scope when persistence is enabled.
+
+Multi-level hierarchies (Hardy & Puaut, "WCET analysis of multi-level
+set-associative instruction caches"): each cache level is analysed in
+turn, outermost first, under a **cache access classification** (CAC)
+derived from the level above — an access is *Always* performed at L1;
+at level k+1 it is *Never* performed when level k classified it
+always-hit, *Always* performed when level k classified it always-miss
+(a MAY analysis proves the block cannot be resident), and *Uncertain*
+otherwise.  Uncertain accesses use a joined transfer
+(state-with-access ⊓ state-without), which keeps the deeper level's MUST
+state sound whether or not the access reaches it; only A accesses (and
+write-through stores) insert must-facts at the deeper level, exactly as
+in Hardy & Puaut.  Context-insensitive CAC makes deep always-miss facts
+rare (an instruction executed twice may hit the second time), so L2
+MUST classification is honest but conservative — the cost model prices
+unclassified L1 misses all the way to main memory.
+:func:`analyze_hierarchy` orchestrates the per-level runs for any
+pipeline a :class:`~repro.memory.hierarchy.SystemConfig` can express —
+unified, instruction-only, split I/D, hybrid SPM+cache, L1+L2.
 """
 
 from __future__ import annotations
@@ -58,6 +77,18 @@ class MustCache:
 
     # -- transfer -----------------------------------------------------------
 
+    def _age_younger(self, ages, block: int, threshold: int):
+        """Age (and evict past assoc) every block younger than
+        *threshold*, except *block* itself — the LRU aging both the
+        definite and the uncertain transfer share."""
+        for other, age in list(ages.items()):
+            if other != block and age < threshold:
+                new_age = age + 1
+                if new_age >= self.config.assoc:
+                    del ages[other]
+                else:
+                    ages[other] = new_age
+
     def access_block(self, block: int, allocate=True):
         """A definite access to *block* (read, or write hit refresh)."""
         config = self.config
@@ -78,14 +109,28 @@ class MustCache:
             threshold = config.assoc  # everyone ages
         else:
             threshold = old_age
-        for other, age in list(ages.items()):
-            if other != block and age < threshold:
-                new_age = age + 1
-                if new_age >= config.assoc:
-                    del ages[other]
-                else:
-                    ages[other] = new_age
+        self._age_younger(ages, block, threshold)
         ages[block] = 0
+
+    def access_block_uncertain(self, block: int):
+        """A read of *block* that may or may not occur (CAC ``U``).
+
+        Equivalent to ``join(state after access, state unchanged)`` but
+        computed in place: the accessed block never gains residency or
+        youth, every other block ages as the definite access would have
+        aged it.  Sound whichever way the uncertainty resolves.  (Writes
+        never take this path — write-through stores reach every level
+        definitely.)
+        """
+        index = block % self.config.num_sets
+        ages = self.sets.get(index)
+        if not ages:
+            return
+        old_age = ages.get(block)
+        threshold = self.config.assoc if old_age is None else old_age
+        self._age_younger(ages, block, threshold)
+        if not ages:
+            del self.sets[index]
 
     def age_set(self, index: int, evict=True):
         """An unknown access may touch set *index*: age everything."""
@@ -123,6 +168,73 @@ class MustCache:
         return changed
 
 
+#: Sentinel: a MayCache set that may contain *any* block.
+MAY_TOP = "may-top"
+
+
+class MayCache:
+    """Per-set overapproximation of possibly-resident blocks.
+
+    Deliberately coarse: blocks are never evicted (the set only grows),
+    so membership is monotone and the fixpoint converges in a couple of
+    sweeps.  A block *absent* from the may-state is guaranteed not
+    resident — its access is **always-miss**, which is what licenses a
+    CAC of ``A`` at the next level down (Hardy & Puaut).  Range and
+    unknown accesses may load any block of their sets, modelled by the
+    :data:`MAY_TOP` sentinel.
+    """
+
+    __slots__ = ("config", "sets")
+
+    def __init__(self, config: CacheConfig, sets=None):
+        self.config = config
+        self.sets = sets if sets is not None else {}
+
+    def copy(self) -> "MayCache":
+        return MayCache(self.config,
+                        {s: (blocks if blocks is MAY_TOP else set(blocks))
+                         for s, blocks in self.sets.items()})
+
+    def add_block(self, block: int):
+        index = block % self.config.num_sets
+        blocks = self.sets.get(index)
+        if blocks is MAY_TOP:
+            return
+        if blocks is None:
+            self.sets[index] = {block}
+        else:
+            blocks.add(block)
+
+    def mark_top(self, index: int):
+        self.sets[index] = MAY_TOP
+
+    def mark_all_top(self):
+        for index in range(self.config.num_sets):
+            self.sets[index] = MAY_TOP
+
+    def may_contain(self, block: int) -> bool:
+        blocks = self.sets.get(block % self.config.num_sets)
+        return blocks is MAY_TOP or (blocks is not None and block in blocks)
+
+    def join_with(self, other: "MayCache") -> bool:
+        """In-place may-join (union); True if changed."""
+        changed = False
+        for index, theirs in other.sets.items():
+            mine = self.sets.get(index)
+            if mine is MAY_TOP:
+                continue
+            if theirs is MAY_TOP:
+                self.sets[index] = MAY_TOP
+                changed = True
+            elif mine is None:
+                self.sets[index] = set(theirs)
+                changed = True
+            elif not theirs <= mine:
+                mine |= theirs
+                changed = True
+        return changed
+
+
 # --------------------------------------------------------------------------
 # Classification results
 # --------------------------------------------------------------------------
@@ -141,6 +253,11 @@ class AccessClass:
     data: str = None
     #: loop-header addr of the persistence scope for FM fetches
     fetch_scope: int = None
+    #: MAY analysis proved the fetch misses this level on every
+    #: execution (so it is Always performed at the next level)
+    fetch_always_miss: bool = False
+    #: likewise for the data read
+    data_always_miss: bool = False
 
 
 @dataclass
@@ -170,16 +287,34 @@ class CacheAnalysisResult:
 # --------------------------------------------------------------------------
 
 class CacheAnalysis:
-    """MUST (+ optional persistence) analysis over the whole program."""
+    """MUST (+ optional persistence) analysis of one cache level.
+
+    The default arguments analyse the paper's single cache: every access
+    definitely happens (CAC ``A``) and the cache's ``unified`` flag
+    decides whether data traffic touches it.  Deeper levels pass
+    *fetch_cac*/*data_cac* maps (addr -> ``"A"``/``"U"``/``"N"``) from
+    the level above, *serves_fetch*/*serves_data* to model split I/D
+    arrays, and *spm_size* so accesses settled by a scratchpad in front
+    never reach the tags.
+    """
 
     def __init__(self, image, cfgs: dict, config: CacheConfig,
-                 stack_range, entry_name: str, persistence=False):
+                 stack_range, entry_name: str, persistence=False, *,
+                 serves_fetch=True, serves_data=None, spm_size=0,
+                 fetch_cac=None, data_cac=None, always_miss=False):
         self.image = image
         self.cfgs = cfgs
         self.config = config
         self.stack_range = stack_range
         self.entry_name = entry_name
         self.persistence = persistence
+        self.always_miss = always_miss
+        self.serves_fetch = serves_fetch
+        self.serves_data = (config.unified if serves_data is None
+                            else serves_data)
+        self.spm_size = spm_size
+        self.fetch_cac = fetch_cac
+        self.data_cac = data_cac
         self._entry_by_addr = {cfg.entry: name
                                for name, cfg in cfgs.items()}
         # Pre-resolve every instruction's data access and compile it to a
@@ -196,23 +331,35 @@ class CacheAnalysis:
                     self._plan[addr] = self._compile_plan(access)
                     self._read_blocks[addr] = self._compile_read(access)
 
+    def _cached_ranges(self, ranges):
+        """Clip *ranges* to the part behind the cache (above the SPM)."""
+        spm = self.spm_size
+        if not spm:
+            return ranges
+        return tuple((max(lo, spm), hi) for lo, hi in ranges if hi > spm)
+
     def _compile_plan(self, access):
         """Compile a DataAccess into (kind, payload) steps for transfer."""
         if access is None:
             return None
-        if not self.config.unified:
+        if not self.serves_data:
             return None  # instruction cache: data never touches it
         if access.unknown:
             return ("allsets", not access.is_write, access.count)
         if access.exact:
+            if access.address < self.spm_size:
+                return None  # settled by the scratchpad in front
             block = self.config.block_of(access.address)
             return ("wblock" if access.is_write else "rblock", block, 1)
+        ranges = self._cached_ranges(access.ranges)
+        if not ranges:
+            return None
         blocks = set()
-        for lo, hi in access.ranges:
+        for lo, hi in ranges:
             blocks.update(self._blocks_of_range(lo, hi))
         if len(blocks) == 1 and not access.is_write:
             return ("rblock", next(iter(blocks)), access.count)
-        sets = tuple(sorted(self._sets_of_ranges(access.ranges)))
+        sets = tuple(sorted(self._sets_of_ranges(ranges)))
         if len(sets) == self.config.num_sets:
             return ("allsets", not access.is_write, access.count)
         return ("sets", sets, not access.is_write, access.count)
@@ -220,10 +367,13 @@ class CacheAnalysis:
     def _compile_read(self, access):
         """Blocks that must all be resident for the read to be AH."""
         if access is None or access.is_write or access.unknown or \
-                access.count != 1 or not self.config.unified:
+                access.count != 1 or not self.serves_data:
             return None
+        ranges = self._cached_ranges(access.ranges)
+        if not ranges or ranges != access.ranges:
+            return None  # fully or partly in front of the cache
         blocks = set()
-        for lo, hi in access.ranges:
+        for lo, hi in ranges:
             blocks.update(self._blocks_of_range(lo, hi))
         if len(blocks) > 4 * self.config.assoc:
             return None  # cannot all be resident in interesting cases
@@ -245,23 +395,42 @@ class CacheAnalysis:
                 sets.add(block % num_sets)
         return sets
 
-    def _apply_plan(self, state: MustCache, plan):
+    def _data_cac_for(self, addr):
+        if self.data_cac is None:
+            return "A"
+        return self.data_cac.get(addr, "U")
+
+    def _apply_plan(self, state: MustCache, plan, addr):
         if plan is None:
             return
         kind = plan[0]
         if kind == "rblock":
+            # Reads respect the CAC: an access settled by the level in
+            # front never reaches these tags, an uncertain one joins.
+            cac = self._data_cac_for(addr)
+            if cac == "N":
+                return
             _kind, block, count = plan
-            for _ in range(count):
-                state.access_block(block)
+            if cac == "A":
+                for _ in range(count):
+                    state.access_block(block)
+            else:
+                for _ in range(count):
+                    state.access_block_uncertain(block)
         elif kind == "wblock":
+            # Writes are write-through: they touch every level's tags.
             state.access_block(plan[1], allocate=state.contains(plan[1]))
         elif kind == "sets":
             _kind, sets, evict, count = plan
+            if evict and self._data_cac_for(addr) == "N":
+                return
             for _ in range(count):
                 for index in sets:
                     state.age_set(index, evict=evict)
         else:  # allsets
             _kind, evict, count = plan
+            if evict and self._data_cac_for(addr) == "N":
+                return
             for _ in range(count):
                 for index in list(state.sets):
                     state.age_set(index, evict=evict)
@@ -269,38 +438,97 @@ class CacheAnalysis:
     def _transfer_block(self, state: MustCache, block, classify=None):
         """Apply one basic block's accesses to *state* (in place)."""
         block_of = self.config.block_of
+        fetch_cac = self.fetch_cac
         for addr, instr in block.instrs:
-            fetch_block = block_of(addr)
-            if classify is not None:
-                classify(addr, "fetch", state.contains(fetch_block))
-            state.access_block(fetch_block)
-            if instr.size == 4:
-                second = block_of(addr + 2)
-                if second != fetch_block:
-                    if classify is not None and not state.contains(second):
-                        # Both halves must hit for an AH fetch.
-                        classify(addr, "fetch_second", False)
-                    state.access_block(second)
-            if classify is not None:
-                needed = self._read_blocks[addr]
-                if needed is not None:
-                    hit = all(state.contains(b) for b in needed)
-                    classify(addr, "data", hit)
-            self._apply_plan(state, self._plan[addr])
+            if self.serves_fetch and addr >= self.spm_size:
+                cac = "A" if fetch_cac is None else fetch_cac.get(addr, "U")
+                if cac != "N":
+                    definite = cac == "A"
+                    fetch_block = block_of(addr)
+                    if classify is not None:
+                        classify(addr, "fetch", state.contains(fetch_block))
+                    if definite:
+                        state.access_block(fetch_block)
+                    else:
+                        state.access_block_uncertain(fetch_block)
+                    if instr.size == 4:
+                        second = block_of(addr + 2)
+                        if second != fetch_block:
+                            if classify is not None and \
+                                    not state.contains(second):
+                                # Both halves must hit for an AH fetch.
+                                classify(addr, "fetch_second", False)
+                            if definite:
+                                state.access_block(second)
+                            else:
+                                state.access_block_uncertain(second)
+            if self.serves_data:
+                if classify is not None:
+                    needed = self._read_blocks[addr]
+                    if needed is not None:
+                        hit = all(state.contains(b) for b in needed)
+                        classify(addr, "data", hit)
+                self._apply_plan(state, self._plan[addr], addr)
+
+    # -- the MAY side (always-miss facts for the next level's CAC) -----------
+
+    def _transfer_block_may(self, state: MayCache, block, classify=None):
+        """Apply one basic block's accesses to a may-state (in place).
+
+        With *classify*, records whether each CAC-``A`` access targets a
+        block provably absent — an **always-miss**, i.e. an access that
+        is Always performed at the next level down.
+        """
+        block_of = self.config.block_of
+        fetch_cac = self.fetch_cac
+        for addr, instr in block.instrs:
+            if self.serves_fetch and addr >= self.spm_size:
+                cac = "A" if fetch_cac is None else fetch_cac.get(addr, "U")
+                if cac != "N":
+                    fetch_block = block_of(addr)
+                    second = (block_of(addr + 2) if instr.size == 4
+                              else fetch_block)
+                    if classify is not None and cac == "A":
+                        # Both halves must miss for the next level to be
+                        # definitely accessed on every execution.
+                        miss = not (state.may_contain(fetch_block)
+                                    or state.may_contain(second))
+                        classify(addr, "fetch", miss)
+                    state.add_block(fetch_block)
+                    if second != fetch_block:
+                        state.add_block(second)
+            if self.serves_data:
+                plan = self._plan[addr]
+                if plan is None:
+                    continue
+                kind = plan[0]
+                if kind == "rblock":
+                    cac = self._data_cac_for(addr)
+                    if cac == "N":
+                        continue
+                    _kind, block_num, count = plan
+                    if classify is not None and cac == "A" and count == 1:
+                        classify(addr, "data",
+                                 not state.may_contain(block_num))
+                    state.add_block(block_num)
+                elif kind == "wblock":
+                    pass  # write-through, no allocate: never inserts
+                elif kind == "sets":
+                    _kind, sets, evict, _count = plan
+                    if evict and self._data_cac_for(addr) != "N":
+                        for index in sets:
+                            state.mark_top(index)
+                else:  # allsets
+                    _kind, evict, _count = plan
+                    if evict and self._data_cac_for(addr) != "N":
+                        state.mark_all_top()
 
     # -- fixpoint ---------------------------------------------------------------
 
-    def run(self) -> CacheAnalysisResult:
+    def _interproc_succs(self):
+        """Successor map over (func_name, block_addr) nodes, including
+        call and return edges (context-insensitive)."""
         cfgs = self.cfgs
-        # Node = (func_name, block_addr). in-states start unknown (None);
-        # the program entry starts with the empty must cache (nothing
-        # guaranteed — cold and sound).
-        in_states = {}
-        entry_cfg = cfgs[self.entry_name]
-        in_states[(self.entry_name, entry_cfg.entry)] = MustCache(
-            self.config)
-
-        # Successor map including interprocedural edges.
         succs = {}
         for name, cfg in cfgs.items():
             for baddr, block in cfg.blocks.items():
@@ -317,6 +545,18 @@ class CacheAnalysis:
                 else:
                     out.extend((name, s) for s in block.succs)
                 succs.setdefault(node, []).extend(out)
+        return succs
+
+    def _fixpoint(self, entry_state, transfer):
+        """Worklist fixpoint from a cold entry state; returns in-states."""
+        cfgs = self.cfgs
+        # Node = (func_name, block_addr). in-states start unknown (None);
+        # the program entry starts cold (empty state), which is sound for
+        # both directions: nothing guaranteed, nothing possibly resident.
+        in_states = {}
+        entry_cfg = cfgs[self.entry_name]
+        in_states[(self.entry_name, entry_cfg.entry)] = entry_state
+        succs = self._interproc_succs()
 
         work = [(self.entry_name, entry_cfg.entry)]
         iterations = 0
@@ -328,7 +568,7 @@ class CacheAnalysis:
             node = work.pop()
             name, baddr = node
             state = in_states[node].copy()
-            self._transfer_block(state, cfgs[name].blocks[baddr])
+            transfer(state, cfgs[name].blocks[baddr])
             for succ in succs.get(node, ()):
                 current = in_states.get(succ)
                 if current is None:
@@ -336,29 +576,49 @@ class CacheAnalysis:
                     work.append(succ)
                 elif current.join_with(state):
                     work.append(succ)
+        return in_states
 
-        # Classification pass.
-        result = CacheAnalysisResult(config=self.config)
-
-        def classify_factory(classes):
-            def classify(addr, what, hit):
-                entry = classes.setdefault(addr, AccessClass())
-                if what == "fetch":
-                    entry.fetch = AH if hit else NC
-                elif what == "fetch_second":
-                    entry.fetch = NC
-                else:
-                    entry.data = AH if hit else NC
-            return classify
-
-        classify = classify_factory(result.classes)
-        for name, cfg in cfgs.items():
+    def _classify_pass(self, in_states, transfer, classify):
+        for name, cfg in self.cfgs.items():
             for baddr, block in cfg.blocks.items():
                 node = (name, baddr)
                 if node not in in_states:
                     continue  # unreachable
                 state = in_states[node].copy()
-                self._transfer_block(state, block, classify=classify)
+                transfer(state, block, classify=classify)
+
+    def run(self) -> CacheAnalysisResult:
+        in_states = self._fixpoint(MustCache(self.config),
+                                   self._transfer_block)
+
+        # Classification pass.
+        result = CacheAnalysisResult(config=self.config)
+        classes = result.classes
+
+        def classify(addr, what, hit):
+            entry = classes.setdefault(addr, AccessClass())
+            if what == "fetch":
+                entry.fetch = AH if hit else NC
+            elif what == "fetch_second":
+                entry.fetch = NC
+            else:
+                entry.data = AH if hit else NC
+
+        self._classify_pass(in_states, self._transfer_block, classify)
+
+        if self.always_miss:
+            may_states = self._fixpoint(MayCache(self.config),
+                                        self._transfer_block_may)
+
+            def classify_am(addr, what, miss):
+                entry = classes.setdefault(addr, AccessClass())
+                if what == "fetch":
+                    entry.fetch_always_miss = miss
+                else:
+                    entry.data_always_miss = miss
+
+            self._classify_pass(may_states, self._transfer_block_may,
+                                classify_am)
 
         if self.persistence:
             self._apply_persistence(result)
@@ -402,6 +662,10 @@ class CacheAnalysis:
                             entry.fetch = FM
                             entry.fetch_scope = loop.header
 
+    def all_addrs(self):
+        """Every instruction address the analysis saw."""
+        return self._data.keys()
+
     def _loop_footprint(self, cfg, loop):
         """(fetch/data lines, sets touched by range accesses, analysable)."""
         lines = set()
@@ -428,3 +692,134 @@ class CacheAnalysis:
                 else:  # allsets
                     return set(), set(), False
         return lines, dirty_sets, True
+
+
+# --------------------------------------------------------------------------
+# Multi-level orchestration (Hardy & Puaut-style CAC chaining)
+# --------------------------------------------------------------------------
+
+@dataclass
+class LevelClassification:
+    """Per-level classification results for one cache level."""
+
+    level: object  # CacheLevel spec
+    #: classification of instruction fetches at this level (None when the
+    #: level has no instruction side)
+    iresult: CacheAnalysisResult = None
+    #: classification of data accesses (same object as iresult for a
+    #: unified level)
+    dresult: CacheAnalysisResult = None
+
+
+@dataclass
+class HierarchyCacheResult:
+    """Classifications for every cache level of a pipeline.
+
+    ``primary`` is the outermost level's result — for the paper's
+    single-cache systems it is exactly what the old single-level
+    analysis produced.
+    """
+
+    levels: list = field(default_factory=list)
+
+    @property
+    def primary(self) -> CacheAnalysisResult:
+        first = self.levels[0]
+        return first.iresult if first.iresult is not None else first.dresult
+
+    def fetch_results(self):
+        """(CacheLevel, CacheAnalysisResult) along the fetch path."""
+        return [(entry.level, entry.iresult) for entry in self.levels
+                if entry.iresult is not None]
+
+    def data_results(self):
+        """(CacheLevel, CacheAnalysisResult) along the data path."""
+        return [(entry.level, entry.dresult) for entry in self.levels
+                if entry.dresult is not None]
+
+
+def _chain_cac(prev_cac, result, addrs, what):
+    """CAC for the next level down, given this level's classification.
+
+    ``N`` (never reaches the next level) when the access already never
+    reached this one or is guaranteed to hit here; ``A`` when it
+    definitely reached this level and the MAY analysis proved it always
+    misses; ``U`` otherwise.
+    """
+    nxt = {}
+    for addr in addrs:
+        prev = "A" if prev_cac is None else prev_cac.get(addr, "U")
+        if prev == "N":
+            nxt[addr] = "N"
+            continue
+        entry = result.classes.get(addr)
+        if what == "fetch":
+            cls = entry.fetch if entry else NC
+            am = entry.fetch_always_miss if entry else False
+        else:
+            cls = entry.data if entry else None
+            am = entry.data_always_miss if entry else False
+        if cls == AH:
+            nxt[addr] = "N"
+        elif prev == "A" and am:
+            nxt[addr] = "A"
+        else:
+            nxt[addr] = "U"
+    return nxt
+
+
+def analyze_hierarchy(image, cfgs, config, stack_range, entry_name,
+                      persistence=False) -> HierarchyCacheResult:
+    """Classify every cache level of *config*'s pipeline, outermost first.
+
+    *config* is a :class:`~repro.memory.hierarchy.SystemConfig`.  Each
+    level is analysed under the CAC derived from the level above;
+    persistence (first-miss) applies to the outermost level only, where
+    every access is definite.
+    """
+    spm_size = config.spm_size
+    specs = config.cache_level_specs
+    fetch_cac = None
+    data_cac = None
+    out = HierarchyCacheResult()
+    addrs = None
+    for depth, level in enumerate(specs):
+        outermost = depth == 0
+        # Always-miss (MAY) facts are only needed to seed the CAC of a
+        # deeper level; the innermost analysis can skip that pass.
+        chained = depth + 1 < len(specs)
+        iresult = dresult = None
+        if level.shared:
+            analysis = CacheAnalysis(
+                image, cfgs, level.icache, stack_range, entry_name,
+                persistence=persistence and outermost,
+                serves_fetch=True, serves_data=True, spm_size=spm_size,
+                fetch_cac=fetch_cac, data_cac=data_cac,
+                always_miss=chained)
+            iresult = dresult = analysis.run()
+            addrs = addrs or list(analysis.all_addrs())
+        else:
+            if level.icache is not None:
+                analysis = CacheAnalysis(
+                    image, cfgs, level.icache, stack_range, entry_name,
+                    persistence=persistence and outermost,
+                    serves_fetch=True, serves_data=False,
+                    spm_size=spm_size, fetch_cac=fetch_cac,
+                    always_miss=chained)
+                iresult = analysis.run()
+                addrs = addrs or list(analysis.all_addrs())
+            if level.dcache is not None:
+                analysis = CacheAnalysis(
+                    image, cfgs, level.dcache, stack_range, entry_name,
+                    serves_fetch=False, serves_data=True,
+                    spm_size=spm_size, data_cac=data_cac,
+                    always_miss=chained)
+                dresult = analysis.run()
+                addrs = addrs or list(analysis.all_addrs())
+        out.levels.append(LevelClassification(
+            level=level, iresult=iresult, dresult=dresult))
+        if iresult is not None:
+            fetch_cac = _chain_cac(fetch_cac, iresult, addrs, "fetch")
+        if dresult is not None:
+            data_cac = _chain_cac(data_cac, dresult, addrs, "data")
+    return out

@@ -1,48 +1,82 @@
 """Worst-case cycle cost of individual instructions.
 
-Uses the *same* timing constants as the simulator
-(:mod:`repro.memory.timing`); the only difference is that concrete
-addresses/cache states are replaced by static classifications:
+Uses the *same* level pipeline and :func:`~repro.memory.levels.serve_costs`
+table as the simulator (:mod:`repro.memory.levels`); the only difference
+is that concrete addresses/cache states are replaced by static
+classifications:
 
 * scratchpad/uncached systems: every address range maps to its region
   statically, so costs are exact — the paper's point that a scratchpad
   needs *no* analysis beyond region annotation;
-* cached systems: instruction fetches and data reads classified always-hit
-  cost one cycle, everything else is charged the full line fill; writes are
-  write-through and cost main-memory time in both worlds.
+* cached systems: an access classified always-hit at the outermost cache
+  costs that level's hit; anything else is priced by walking the level
+  chain — it pays the miss fills down to the first level whose MUST
+  analysis guarantees a hit (Hardy & Puaut), or all the way to main
+  memory; writes are write-through and cost main-memory time in both
+  worlds.
 """
 
 from __future__ import annotations
 
 from ..isa.opcodes import Cond, Op
 from ..memory.hierarchy import SystemConfig
+from ..memory.levels import path_geometry, serve_costs
 from ..memory.regions import RegionKind
 from ..memory.timing import (
     BRANCH_REFILL_CYCLES,
-    CACHE_HIT_CYCLES,
     instruction_extra_cycles,
 )
 from .accesses import DataAccess
-from .cacheanalysis import AH, FM, CacheAnalysisResult
+from .cacheanalysis import (
+    AH,
+    FM,
+    CacheAnalysisResult,
+    HierarchyCacheResult,
+    LevelClassification,
+)
+
+
+def _wrap_single_level(config: SystemConfig, result: CacheAnalysisResult):
+    """Adapt a bare single-level analysis result to the hierarchy shape."""
+    level = config.cache_level_specs[0]
+    wrapped = HierarchyCacheResult()
+    wrapped.levels.append(LevelClassification(
+        level=level,
+        iresult=result if level.icache is not None else None,
+        dresult=result if level.dcache is not None else None))
+    return wrapped
 
 
 class CostModel:
     """Static per-instruction worst-case costs for one system config."""
 
     def __init__(self, config: SystemConfig, data_accesses: dict,
-                 cache_result: CacheAnalysisResult = None):
+                 cache_result=None):
         self.config = config
         self.timing = config.timing
         self.spm_size = config.spm_size
         self.cache = config.cache
-        self.cache_result = cache_result
         self._data = data_accesses
-        self._miss = (self.timing.line_fill_cycles(self.cache.line_size)
-                      if self.cache else 0)
-        if self.cache and cache_result is None:
-            raise ValueError("cached config needs a cache analysis result")
 
-    # -- region helpers ----------------------------------------------------------
+        fetch_levels = config.fetch_path()
+        data_levels = config.data_path()
+        if (fetch_levels or data_levels) and cache_result is None:
+            raise ValueError("cached config needs a cache analysis result")
+        if isinstance(cache_result, CacheAnalysisResult):
+            cache_result = _wrap_single_level(config, cache_result)
+        self.cache_result = cache_result
+
+        #: [(CacheLevel, CacheAnalysisResult)] along each access path.
+        self._fetch = (cache_result.fetch_results()
+                       if fetch_levels else [])
+        self._data_levels = (cache_result.data_results()
+                             if data_levels else [])
+        self._fetch_serve = serve_costs(
+            path_geometry(fetch_levels, "i"), self.timing)
+        self._data_serve = serve_costs(
+            path_geometry(data_levels, "d"), self.timing)
+
+    # -- region helpers ------------------------------------------------------
 
     def _region_kind(self, addr: int) -> str:
         if addr < self.spm_size:
@@ -54,35 +88,63 @@ class CostModel:
         kinds = {self._region_kind(lo), self._region_kind(max(lo, hi - 1))}
         return max(self.timing.cycles(kind, width) for kind in kinds)
 
-    # -- fetch -----------------------------------------------------------------------
+    def _all_in_spm(self, access: DataAccess) -> bool:
+        return (not access.unknown and bool(access.ranges)
+                and all(hi <= self.spm_size for _lo, hi in access.ranges))
+
+    # -- chain walking -------------------------------------------------------
+
+    def _fetch_miss_cost(self, addr: int) -> int:
+        """Cycles of an outer-level fetch miss: fills down to the first
+        level whose MUST analysis guarantees the line, else main."""
+        for idx in range(1, len(self._fetch)):
+            if self._fetch[idx][1].fetch_class(addr) == AH:
+                return self._fetch_serve[idx]
+        return self._fetch_serve[len(self._fetch)]
+
+    def _data_miss_cost(self, addr: int) -> int:
+        for idx in range(1, len(self._data_levels)):
+            if self._data_levels[idx][1].data_class(addr) == AH:
+                return self._data_serve[idx]
+        return self._data_serve[len(self._data_levels)]
+
+    # -- fetch ---------------------------------------------------------------
 
     def fetch_cost(self, addr: int, instr) -> int:
         halves = instr.size // 2
-        if self.cache is None:
-            kind = self._region_kind(addr)
-            return halves * self.timing.cycles(kind, 2)
-        fetch_class = self.cache_result.fetch_class(addr)
+        if addr < self.spm_size:
+            return halves * self.timing.cycles(RegionKind.SPM, 2)
+        if not self._fetch:
+            return halves * self.timing.cycles(RegionKind.MAIN, 2)
+        level, result = self._fetch[0]
+        fetch_class = result.fetch_class(addr)
         if fetch_class in (AH, FM):
             # FM is charged as a hit here; the per-scope penalty is added
             # by the IPET builder on the loop's entry edges.
-            return halves * CACHE_HIT_CYCLES
+            return halves * level.hit_cycles
+        miss = self._fetch_miss_cost(addr)
         if halves == 1:
-            return self._miss
-        same_line = (addr // self.cache.line_size ==
-                     (addr + 2) // self.cache.line_size)
+            return miss
+        line = level.icache.line_size
+        same_line = addr // line == (addr + 2) // line
         if same_line:
-            return self._miss + CACHE_HIT_CYCLES
-        return 2 * self._miss
+            return miss + level.hit_cycles
+        # The outer level's classification covers both halves, so a
+        # deeper guaranteed hit (if any) covers both of them too.
+        return 2 * miss
 
     def fetch_miss_penalty(self, addr: int) -> int:
         """Extra cycles of the one FM miss vs. the charged hit."""
-        return self._miss - CACHE_HIT_CYCLES
+        if not self._fetch:
+            return 0
+        return (self._fetch_serve[len(self._fetch)]
+                - self._fetch[0][0].hit_cycles)
 
-    # -- data ---------------------------------------------------------------------------
+    # -- data ----------------------------------------------------------------
 
     def _read_cost(self, addr: int, access: DataAccess) -> int:
-        if self.cache is None or not self.cache.unified:
-            # No cache on the data path: region timing is exact.
+        if not self._data_levels or self._all_in_spm(access):
+            # No cache on this access's path: region timing is exact.
             worst = 0
             for lo, hi in access.ranges or ((0, 0),):
                 worst = max(worst,
@@ -91,12 +153,12 @@ class CostModel:
                 worst = self.timing.cycles(RegionKind.MAIN, access.width)
             return worst * access.count
         if access.count == 1 and \
-                self.cache_result.data_class(addr) == AH:
-            return CACHE_HIT_CYCLES
-        return self._miss * access.count
+                self._data_levels[0][1].data_class(addr) == AH:
+            return self._data_levels[0][0].hit_cycles
+        return self._data_miss_cost(addr) * access.count
 
     def _write_cost(self, access: DataAccess) -> int:
-        if self.cache is not None and self.cache.unified:
+        if self._data_levels and not self._all_in_spm(access):
             # Write-through, no allocate: main-memory cost per store.
             return self.timing.cycles(RegionKind.MAIN,
                                       access.width) * access.count
@@ -115,7 +177,7 @@ class CostModel:
             return self._write_cost(access)
         return self._read_cost(addr, access)
 
-    # -- whole instructions --------------------------------------------------------------
+    # -- whole instructions --------------------------------------------------
 
     def instr_cost(self, addr: int, instr):
         """Return ``(base_cycles, taken_edge_extra)`` for one instruction.

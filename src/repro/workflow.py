@@ -13,6 +13,12 @@ Right branch (cache):
 A :class:`Workflow` caches the compile and profile steps so a size sweep
 only repeats the placement/simulation/analysis work, like the paper's
 experimental setup.
+
+Beyond the paper's two branches, the deeper pipelines of
+:mod:`repro.memory.levels` get evaluation points too:
+:meth:`Workflow.hybrid_point` (SPM with a cache behind it),
+:meth:`Workflow.multilevel_point` (L1+L2) and
+:meth:`Workflow.split_point` (split I/D caches).
 """
 
 from __future__ import annotations
@@ -96,13 +102,19 @@ class Workflow:
 
     # -- left branch: scratchpad ---------------------------------------------------
 
-    def allocate(self, spm_size: int, method: str = "energy") -> Allocation:
+    def allocate(self, spm_size: int, method: str = "energy",
+                 backing_cache: CacheConfig = None) -> Allocation:
+        """*backing_cache* tells the WCET-driven allocator what sits
+        behind the scratchpad in a hybrid pipeline."""
         if method == "energy":
             return allocate_energy_optimal(
                 self.program, self.profile(), spm_size,
                 model=self.energy_model)
         if method == "wcet":
-            return allocate_wcet_driven(self.program, spm_size)
+            baseline = (SystemConfig.cached(backing_cache)
+                        if backing_cache is not None else None)
+            return allocate_wcet_driven(self.program, spm_size,
+                                        baseline_config=baseline)
         raise ValueError(f"unknown allocation method {method!r}")
 
     def spm_point(self, spm_size: int,
@@ -152,6 +164,61 @@ class Workflow:
                                 assoc=assoc, unified=unified)
             points.append(self.cache_point(cache, persistence=persistence))
         return points
+
+    # -- deeper pipelines (the future-work shapes) ------------------------------
+
+    def multilevel_point(self, l1: CacheConfig, l2: CacheConfig,
+                         persistence: bool = False) -> EvaluationPoint:
+        """Evaluate an L1+L2 pipeline on the shared executable."""
+        config = SystemConfig.two_level(l1, l2)
+        return self.config_point(config, persistence=persistence)
+
+    def split_point(self, icache: CacheConfig, dcache: CacheConfig,
+                    persistence: bool = False) -> EvaluationPoint:
+        """Evaluate split L1 instruction/data caches."""
+        config = SystemConfig.split_l1(icache, dcache)
+        return self.config_point(config, persistence=persistence)
+
+    def hybrid_point(self, spm_size: int, cache: CacheConfig,
+                     method: str = "energy",
+                     persistence: bool = False) -> EvaluationPoint:
+        """Scratchpad allocation with a cache behind it for the rest."""
+        key = ("hybrid", spm_size, cache, method, persistence)
+        if key in self._points:
+            return self._points[key]
+        allocation = self.allocate(spm_size, method, backing_cache=cache)
+        image = link(self.program, spm_size=spm_size,
+                     spm_objects=allocation.objects,
+                     config_name=f"spm{spm_size}+cache{cache.size}")
+        config = SystemConfig.hybrid(spm_size, cache)
+        sim = simulate(image, config, max_steps=self.max_steps)
+        wcet = analyze_wcet(image, config, persistence=persistence)
+        point = EvaluationPoint(config=config, image=image, sim=sim,
+                                wcet=wcet, allocation=allocation)
+        self._points[key] = point
+        return point
+
+    def config_point(self, config: SystemConfig,
+                     persistence: bool = False) -> EvaluationPoint:
+        """Evaluate an arbitrary level pipeline on the shared executable.
+
+        The pipeline must not contain an SPM level (placement would be
+        needed) — use :meth:`hybrid_point` / :meth:`spm_point` for those.
+        """
+        if config.spm_size:
+            raise ValueError("use hybrid_point/spm_point for SPM pipelines")
+        # Levels are frozen/hashable and capture the full geometry (names
+        # alone would collide across e.g. associativity sweeps).
+        key = ("config", config.levels, persistence)
+        if key in self._points:
+            return self._points[key]
+        image = self.baseline_image()
+        sim = simulate(image, config, max_steps=self.max_steps)
+        wcet = analyze_wcet(image, config, persistence=persistence)
+        point = EvaluationPoint(config=config, image=image, sim=sim,
+                                wcet=wcet)
+        self._points[key] = point
+        return point
 
     # -- baseline -----------------------------------------------------------------------
 

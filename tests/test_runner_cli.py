@@ -11,8 +11,8 @@ class TestRunnerCli:
         # One regeneration target per paper artefact + ablations.
         assert set(EXPERIMENTS) == {
             "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
-            "worstcase", "ablation_cacheconfig", "ablation_persistence",
-            "ablation_wcet_alloc",
+            "worstcase", "ablation_cacheconfig", "ablation_multilevel",
+            "ablation_persistence", "ablation_wcet_alloc",
         }
 
     def test_single_experiment(self, capsys):

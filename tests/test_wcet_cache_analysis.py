@@ -7,7 +7,8 @@ from repro.memory import CacheConfig, SystemConfig
 from repro.minic import compile_source
 from repro.sim import simulate
 from repro.wcet import AH, FM, NC, CacheAnalysis, build_all_cfgs
-from repro.wcet.cacheanalysis import MustCache
+from repro.wcet.analyzer import analyze_wcet
+from repro.wcet.cacheanalysis import MayCache, MustCache, analyze_hierarchy
 from repro.wcet.stackdepth import stack_region
 
 
@@ -168,3 +169,108 @@ class TestSoundness:
                 assert sim.fetch_misses.get(addr, 0) == 0, hex(addr)
             if entry.data == AH:
                 assert sim.read_misses.get(addr, 0) == 0, hex(addr)
+
+
+class TestMayCacheDomain:
+    def config(self):
+        return CacheConfig(size=64)
+
+    def test_absent_block_is_guaranteed_miss(self):
+        state = MayCache(self.config())
+        assert not state.may_contain(5)
+        state.add_block(5)
+        assert state.may_contain(5)
+
+    def test_never_evicts(self):
+        state = MayCache(self.config())
+        state.add_block(0)
+        for block in range(4, 64, 4):  # many conflicting inserts
+            state.add_block(block)
+        assert state.may_contain(0)
+
+    def test_top_absorbs(self):
+        state = MayCache(self.config())
+        state.mark_top(0)
+        assert state.may_contain(0) and state.may_contain(4)
+        assert not state.may_contain(1)   # other set untouched
+
+    def test_join_is_union(self):
+        left = MayCache(self.config())
+        left.add_block(0)
+        right = MayCache(self.config())
+        right.add_block(4)
+        assert left.join_with(right)
+        assert left.may_contain(0) and left.may_contain(4)
+        assert not left.join_with(right)  # already absorbed
+
+
+class TestMultiLevelChaining:
+    SOURCE = """
+    int total;
+    int main(void) {
+        int i;
+        total = 0;
+        for (i = 0; i < 50; i++) { total += i; }
+        return total & 255;
+    }
+    """
+
+    def hierarchy_result(self, config):
+        image = link(compile_source(self.SOURCE).program)
+        cfgs = build_all_cfgs(image)
+        entry_by_addr = {c.entry: n for n, c in cfgs.items()}
+        rng = stack_region(cfgs, "_start", entry_by_addr)
+        return image, analyze_hierarchy(image, cfgs, config, rng, "_start")
+
+    def test_primary_matches_single_level_analysis(self):
+        l1 = CacheConfig(size=256)
+        config = SystemConfig.two_level(l1, CacheConfig(size=1024))
+        image, result = self.hierarchy_result(config)
+        cfgs = build_all_cfgs(image)
+        entry_by_addr = {c.entry: n for n, c in cfgs.items()}
+        rng = stack_region(cfgs, "_start", entry_by_addr)
+        single = CacheAnalysis(image, cfgs, l1, rng, "_start").run()
+        primary = result.primary
+        for addr, entry in single.classes.items():
+            assert primary.fetch_class(addr) == entry.fetch
+            assert primary.data_class(addr) == entry.data
+
+    def test_always_miss_facts_feed_the_l2(self):
+        config = SystemConfig.two_level(CacheConfig(size=64),
+                                        CacheConfig(size=2048))
+        _image, result = self.hierarchy_result(config)
+        primary = result.primary
+        am = [addr for addr, entry in primary.classes.items()
+              if entry.fetch_always_miss]
+        # At least the program's first fetch can never hit a cold L1.
+        assert am
+        # Always-miss and always-hit are mutually exclusive.
+        for addr in am:
+            assert primary.fetch_class(addr) != AH
+
+    def test_l2_soundness_always_hit_never_served_by_main(self):
+        config = SystemConfig.two_level(CacheConfig(size=64),
+                                        CacheConfig(size=2048))
+        image, result = self.hierarchy_result(config)
+        _level, l2res = result.fetch_results()[1]
+        sim = simulate(image, config, record_misses=True)
+        # An L2-AH fetch may miss L1 but is guaranteed present in L2:
+        # the observed access must never fall through to main memory.
+        l2_ah = [addr for addr, entry in l2res.classes.items()
+                 if entry.fetch == AH]
+        assert l2_ah  # the property must not hold vacuously
+        for addr in l2_ah:
+            assert sim.fetch_main_misses.get(addr, 0) == 0, hex(addr)
+        wcet = analyze_wcet(image, config)
+        assert wcet.wcet >= sim.cycles
+
+
+class TestConfigPointKeys:
+    def test_level_tuples_distinguish_geometry(self):
+        a = SystemConfig.two_level(CacheConfig(size=256),
+                                   CacheConfig(size=2048, assoc=1))
+        b = SystemConfig.two_level(CacheConfig(size=256),
+                                   CacheConfig(size=2048, assoc=4))
+        assert a.name == b.name          # names collide by design...
+        assert a.levels != b.levels      # ...but the cache keys cannot
+        assert hash(a.levels) != hash(b.levels) or a.levels == b.levels
