@@ -1,0 +1,203 @@
+"""Unified performance suite: simulator throughput + WCET analysis time.
+
+Measures the two hot paths this repo's experiments are built on and
+writes one JSON artefact per engine, next to this file:
+
+* ``BENCH_simulator.json`` — simulated instructions per host second for
+  the ADPCM executable across every hierarchy depth (the same configs as
+  :mod:`bench_hierarchy`), plus the speedup factor versus the committed
+  ``BENCH_hierarchy.json`` trajectory baseline;
+* ``BENCH_wcet.json`` — wall seconds for a whole-program WCET analysis
+  on representative (benchmark × hierarchy) points, plus the computed
+  bound (so an accidental semantic change shows up in review).
+
+Every measurement is the best of ``--rounds`` (default 3)
+``time.perf_counter`` runs on a freshly built simulator/analysis, so
+one-off scheduler noise doesn't contaminate the committed baselines.
+
+CI runs ``python benchmarks/bench_suite.py --check``, which re-measures
+and fails when any point regresses by more than ``--tolerance`` (default
+30%) against the committed baselines — the bench-smoke job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_suite.py            # write
+    PYTHONPATH=src python benchmarks/bench_suite.py --check    # compare
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.benchmarks import get
+from repro.link import link
+from repro.memory import CacheConfig, SystemConfig
+from repro.minic import compile_source
+from repro.sim import simulate
+from repro.wcet.analyzer import analyze_wcet
+
+from bench_hierarchy import CONFIGS as SIM_CONFIGS
+
+_HERE = Path(__file__).parent
+SIM_BASELINE = _HERE / "BENCH_hierarchy.json"
+SIM_REPORT = _HERE / "BENCH_simulator.json"
+WCET_REPORT = _HERE / "BENCH_wcet.json"
+
+#: (label, benchmark, SystemConfig) points for the WCET timing section.
+WCET_POINTS = (
+    ("g721/l1-256", "g721",
+     SystemConfig.cached(CacheConfig(size=256))),
+    ("g721/l1+l2", "g721",
+     SystemConfig.two_level(CacheConfig(size=256),
+                            CacheConfig(size=1024))),
+    ("adpcm/split-i/d", "adpcm",
+     SystemConfig.split_l1(CacheConfig(size=256, unified=False),
+                           CacheConfig(size=256))),
+    ("multisort/uncached", "multisort", SystemConfig.uncached()),
+)
+
+_IMAGES = {}
+
+
+def _image(key):
+    if key not in _IMAGES:
+        _IMAGES[key] = link(compile_source(get(key).source()).program)
+    return _IMAGES[key]
+
+
+def _best_of(rounds, func):
+    """(best seconds, last result) over *rounds* timed runs."""
+    best = None
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench_simulator(rounds=3) -> dict:
+    """Throughput per hierarchy config, with speedup vs. the committed
+    BENCH_hierarchy.json baseline when one is present."""
+    baseline = {}
+    if SIM_BASELINE.exists():
+        baseline = json.loads(SIM_BASELINE.read_text())
+    image = _image("adpcm")
+    report = {}
+    for label, config in SIM_CONFIGS.items():
+        seconds, result = _best_of(
+            rounds, lambda config=config: simulate(image, config))
+        per_sec = round(result.instructions / seconds)
+        entry = {
+            "sim_cycles": result.cycles,
+            "instructions": result.instructions,
+            "seconds": round(seconds, 4),
+            "instructions_per_sec": per_sec,
+        }
+        base = baseline.get(label, {}).get("instructions_per_sec")
+        if base:
+            entry["speedup_vs_baseline"] = round(per_sec / base, 2)
+        report[label] = entry
+    return report
+
+
+def bench_wcet(rounds=3) -> dict:
+    """WCET analysis wall time per representative point."""
+    report = {}
+    for label, bench, config in WCET_POINTS:
+        image = _image(bench)
+        seconds, result = _best_of(
+            rounds,
+            lambda image=image, config=config: analyze_wcet(image, config))
+        report[label] = {
+            "wcet_cycles": result.wcet,
+            "seconds": round(seconds, 4),
+        }
+    return report
+
+
+def check(sim_report, wcet_report, tolerance) -> int:
+    """Compare fresh measurements against the committed baselines.
+
+    Returns the number of regressions beyond *tolerance* (a fraction:
+    0.3 means "fail when >30% slower than the committed number").
+    """
+    failures = 0
+    floor = 1.0 - tolerance
+    if SIM_REPORT.exists():
+        committed = json.loads(SIM_REPORT.read_text())
+        for label, entry in sim_report.items():
+            base = committed.get(label, {}).get("instructions_per_sec")
+            if not base:
+                continue
+            ratio = entry["instructions_per_sec"] / base
+            status = "ok" if ratio >= floor else "REGRESSION"
+            print(f"sim  {label:12} {entry['instructions_per_sec']:>9}"
+                  f" instr/s  ({ratio:.2f}x committed)  {status}")
+            failures += status != "ok"
+    else:
+        print(f"sim  baseline {SIM_REPORT.name} missing; nothing to check")
+    if WCET_REPORT.exists():
+        committed = json.loads(WCET_REPORT.read_text())
+        for label, entry in wcet_report.items():
+            base = committed.get(label, {}).get("seconds")
+            if not base:
+                continue
+            # Throughput ratio: committed seconds / measured seconds.
+            ratio = base / entry["seconds"] if entry["seconds"] else 1.0
+            status = "ok" if ratio >= floor else "REGRESSION"
+            print(f"wcet {label:20} {entry['seconds']:.4f}s"
+                  f"  ({ratio:.2f}x committed)  {status}")
+            failures += status != "ok"
+    else:
+        print(f"wcet baseline {WCET_REPORT.name} missing; nothing to check")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure simulator + WCET throughput; write or "
+                    "check the BENCH_*.json baselines.")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed runs per point, best kept (default 3)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against committed BENCH_*.json "
+                             "instead of rewriting them")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed throughput regression fraction for "
+                             "--check (default 0.30)")
+    args = parser.parse_args(argv)
+
+    sim_report = bench_simulator(args.rounds)
+    wcet_report = bench_wcet(args.rounds)
+
+    if args.check:
+        failures = check(sim_report, wcet_report, args.tolerance)
+        if failures:
+            print(f"{failures} benchmark(s) regressed beyond "
+                  f"{100 * args.tolerance:.0f}%")
+            return 1
+        print("bench-smoke: no regressions")
+        return 0
+
+    SIM_REPORT.write_text(json.dumps(sim_report, indent=2) + "\n")
+    WCET_REPORT.write_text(json.dumps(wcet_report, indent=2) + "\n")
+    for label, entry in sim_report.items():
+        speedup = entry.get("speedup_vs_baseline")
+        extra = f"  ({speedup}x baseline)" if speedup else ""
+        print(f"sim  {label:12} {entry['instructions_per_sec']:>9} "
+              f"instr/s{extra}")
+    for label, entry in wcet_report.items():
+        print(f"wcet {label:20} {entry['seconds']:.4f}s "
+              f"(WCET {entry['wcet_cycles']} cycles)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

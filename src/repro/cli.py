@@ -3,6 +3,8 @@
 Subcommands (all take a mini-C source file):
 
 * ``run``        — compile, link, simulate; print cycles and console
+  (``--record-misses`` switches to the recording engine and reports the
+  hottest fetch-miss addresses)
 * ``wcet``       — static WCET analysis; print the per-function report
 * ``compare``    — the paper's experiment on one program: sim vs. WCET
 * ``map``        — placement map (the linker's view)
@@ -147,7 +149,9 @@ def _build(args):
 
 def cmd_run(args):
     image, config = _build(args)
-    result = simulate(image, config)
+    # Plain runs take the compiled fast engine; --record-misses opts
+    # into the recording engine, which tracks misses per address.
+    result = simulate(image, config, record_misses=args.record_misses)
     for line in result.console:
         print(line)
     print(f"# {config.describe()}")
@@ -165,6 +169,12 @@ def cmd_run(args):
         total = stats.hits + stats.misses
         print(f"# cache:        {stats.hits} hits, {stats.misses} misses "
               f"({100 * stats.misses / max(total, 1):.2f}% miss rate)")
+    if args.record_misses and result.fetch_misses:
+        worst = sorted(result.fetch_misses.items(),
+                       key=lambda kv: (-kv[1], kv[0]))[:5]
+        print("# hottest fetch-miss addresses:")
+        for addr, count in worst:
+            print(f"#   {addr:#010x}  {count} misses")
     return 0
 
 
@@ -248,6 +258,11 @@ def main(argv=None) -> int:
             command.add_argument(
                 "--persistence", action="store_true",
                 help="enable first-miss cache persistence analysis")
+        if name == "run":
+            command.add_argument(
+                "--record-misses", action="store_true",
+                help="use the recording engine and report the hottest "
+                     "fetch-miss addresses")
         command.set_defaults(func=func)
     args = parser.parse_args(argv)
     return args.func(args)

@@ -17,22 +17,29 @@ because data accesses can no longer clobber guaranteed cache contents.
 from __future__ import annotations
 
 from ..memory.cache import CacheConfig
-from .common import format_table, sizes, workflow_for
+from .common import cache_task, evaluate_points, format_table, sizes
+
+LABELS = ("unified_dm", "unified_2way", "icache_dm")
+
+
+def _configs(size):
+    return {
+        "unified_dm": CacheConfig(size=size),
+        "unified_2way": CacheConfig(size=size, assoc=2),
+        "icache_dm": CacheConfig(size=size, unified=False),
+    }
 
 
 def run(fast: bool = False) -> dict:
-    workflow = workflow_for("g721")
     sweep = sizes(fast)
+    tasks = [cache_task("g721", _configs(size)[label])
+             for size in sweep for label in LABELS]
+    points = iter(evaluate_points(tasks))
     rows = []
     for size in sweep:
-        configs = {
-            "unified_dm": CacheConfig(size=size),
-            "unified_2way": CacheConfig(size=size, assoc=2),
-            "icache_dm": CacheConfig(size=size, unified=False),
-        }
         row = {"size": size}
-        for label, cache in configs.items():
-            point = workflow.cache_point(cache)
+        for label in LABELS:
+            point = next(points)
             row[f"{label}_sim"] = point.sim.cycles
             row[f"{label}_wcet"] = point.wcet.wcet
             row[f"{label}_ratio"] = round(point.ratio, 3)

@@ -19,23 +19,36 @@ one level deeper.
 from __future__ import annotations
 
 from ..memory.cache import CacheConfig
-from .common import format_table, sizes, workflow_for
+from .common import (
+    cache_task,
+    evaluate_points,
+    format_table,
+    multilevel_task,
+    sizes,
+    split_task,
+)
 
 #: The paper's L1 experimental geometry, held fixed across the sweep.
 L1_SIZE = 256
 
 
 def run(fast: bool = False) -> dict:
-    workflow = workflow_for("g721")
     l1 = CacheConfig(size=L1_SIZE)
-    reference = workflow.cache_point(l1)
     sweep = [size for size in sizes(fast) if size > L1_SIZE]
+    tasks = [cache_task("g721", l1)]
+    for size in sweep:
+        tasks.append(multilevel_task("g721", l1, CacheConfig(size=size)))
+        tasks.append(split_task(
+            "g721",
+            CacheConfig(size=size // 2, unified=False),
+            CacheConfig(size=size // 2)))
+    points = evaluate_points(tasks)
+    reference = points[0]
+    deeper = iter(points[1:])
     rows = []
     for size in sweep:
-        two_level = workflow.multilevel_point(l1, CacheConfig(size=size))
-        split = workflow.split_point(
-            CacheConfig(size=size // 2, unified=False),
-            CacheConfig(size=size // 2))
+        two_level = next(deeper)
+        split = next(deeper)
         rows.append({
             "l2_size": size,
             "l1_only_sim": reference.sim.cycles,

@@ -14,17 +14,30 @@ analysis at all) stays out of reach.
 
 from __future__ import annotations
 
-from .common import format_table, sizes, workflow_for
+from ..memory.cache import CacheConfig
+from .common import (
+    cache_task,
+    evaluate_points,
+    format_table,
+    sizes,
+    spm_task,
+)
 
 
 def run(fast: bool = False) -> dict:
-    workflow = workflow_for("g721")
     sweep = sizes(fast)
+    tasks = []
+    for size in sweep:
+        tasks.append(cache_task("g721", CacheConfig(size=size)))
+        tasks.append(cache_task("g721", CacheConfig(size=size),
+                                persistence=True))
+        tasks.append(spm_task("g721", size))
+    points = iter(evaluate_points(tasks))
     rows = []
     for size in sweep:
-        plain = workflow.cache_sweep((size,), persistence=False)[0]
-        persist = workflow.cache_sweep((size,), persistence=True)[0]
-        spm = workflow.spm_point(size)
+        plain = next(points)
+        persist = next(points)
+        spm = next(points)
         rows.append({
             "size": size,
             "cache_wcet_must": plain.wcet.wcet,

@@ -13,7 +13,7 @@ knapsack of :mod:`repro.spm.wcet_driven`.
 
 from __future__ import annotations
 
-from .common import format_table, sizes, workflow_for
+from .common import evaluate_points, format_table, sizes, spm_task
 
 BENCHES = ("g721", "multisort", "adpcm")
 
@@ -22,11 +22,16 @@ def run(fast: bool = False) -> dict:
     rows = []
     sweep = sizes(fast)
     benches = BENCHES[:1] if fast else BENCHES
+    tasks = []
     for key in benches:
-        workflow = workflow_for(key)
         for size in sweep:
-            energy_point = workflow.spm_point(size, method="energy")
-            wcet_point = workflow.spm_point(size, method="wcet")
+            tasks.append(spm_task(key, size, method="energy"))
+            tasks.append(spm_task(key, size, method="wcet"))
+    points = iter(evaluate_points(tasks))
+    for key in benches:
+        for size in sweep:
+            energy_point = next(points)
+            wcet_point = next(points)
             gain = 100.0 * (energy_point.wcet.wcet - wcet_point.wcet.wcet) \
                 / energy_point.wcet.wcet
             rows.append({

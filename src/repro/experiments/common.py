@@ -4,9 +4,20 @@ Each experiment module exposes ``run(fast=False) -> dict`` with at least
 ``name``, ``rows`` (list of dicts) and ``text`` (formatted report).
 ``fast=True`` shrinks sweeps for use inside pytest-benchmark timing loops;
 the full runs regenerate the paper's artefacts.
+
+Sweeps go through the **evaluation task layer**: an experiment describes
+its (benchmark × configuration) points as picklable task tuples and hands
+them to :func:`evaluate_points`, which either evaluates them serially in
+order (the default) or fans them across ``set_jobs(N)`` worker processes
+(``repro-experiments --jobs N``).  Results always come back in task
+order and every point's computation is deterministic, so the merged
+artefacts are identical whichever way they were produced.
 """
 
 from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 
 from ..benchmarks import get as get_benchmark
 from ..workflow import PAPER_SIZES, Workflow
@@ -15,6 +26,9 @@ from ..workflow import PAPER_SIZES, Workflow
 FAST_SIZES = (64, 512, 4096)
 
 _WORKFLOWS = {}
+
+#: Worker-process count for evaluate_points (set via ``set_jobs``).
+_JOBS = 1
 
 
 def workflow_for(key: str) -> Workflow:
@@ -26,6 +40,89 @@ def workflow_for(key: str) -> Workflow:
 
 def sizes(fast: bool):
     return FAST_SIZES if fast else PAPER_SIZES
+
+
+# -- the process-parallel sweep layer ---------------------------------------
+
+def set_jobs(jobs: int):
+    """Set the worker-process count used by :func:`evaluate_points`."""
+    global _JOBS
+    _JOBS = max(1, int(jobs))
+
+
+def spm_task(bench: str, size: int, method: str = "energy"):
+    return (bench, "spm", (size, method))
+
+
+def cache_task(bench: str, cache, persistence: bool = False):
+    return (bench, "cache", (cache, persistence))
+
+
+def uncached_task(bench: str):
+    return (bench, "uncached", ())
+
+
+def multilevel_task(bench: str, l1, l2):
+    return (bench, "multilevel", (l1, l2))
+
+
+def split_task(bench: str, icache, dcache):
+    return (bench, "split", (icache, dcache))
+
+
+def hybrid_task(bench: str, spm_size: int, cache, method: str = "energy"):
+    return (bench, "hybrid", (spm_size, cache, method))
+
+
+def _evaluate_task(task):
+    """Evaluate one task tuple in this process (worker entry point)."""
+    bench, kind, params = task
+    workflow = workflow_for(bench)
+    if kind == "spm":
+        size, method = params
+        return workflow.spm_point(size, method)
+    if kind == "cache":
+        cache, persistence = params
+        return workflow.cache_point(cache, persistence=persistence)
+    if kind == "uncached":
+        return workflow.uncached_point()
+    if kind == "multilevel":
+        return workflow.multilevel_point(*params)
+    if kind == "split":
+        return workflow.split_point(*params)
+    if kind == "hybrid":
+        spm_size, cache, method = params
+        return workflow.hybrid_point(spm_size, cache, method=method)
+    raise ValueError(f"unknown evaluation task kind {kind!r}")
+
+
+def evaluate_points(tasks):
+    """Evaluate task tuples; returns points in task order.
+
+    With one job this is a plain in-order loop sharing the process-wide
+    workflow cache (bit-for-bit the old serial behaviour).  With more,
+    tasks fan out over a process pool; ``Executor.map`` preserves input
+    order, so the merge is deterministic.  On fork platforms the parent
+    warms each benchmark's compile (and profile, when a scratchpad task
+    needs it) first, so workers inherit the expensive steps instead of
+    redoing them.
+    """
+    tasks = list(tasks)
+    if _JOBS <= 1 or len(tasks) <= 1:
+        return [_evaluate_task(task) for task in tasks]
+    needs_profile = {t[0] for t in tasks if t[1] in ("spm", "hybrid")}
+    for key in dict.fromkeys(t[0] for t in tasks):
+        workflow = workflow_for(key)
+        if key in needs_profile:
+            workflow.profile()
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork: workers rebuild caches
+        context = multiprocessing.get_context()
+    workers = min(_JOBS, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=context) as pool:
+        return list(pool.map(_evaluate_task, tasks))
 
 
 def format_table(headers, rows) -> str:

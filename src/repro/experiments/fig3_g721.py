@@ -9,15 +9,26 @@
 
 from __future__ import annotations
 
+from ..memory.cache import CacheConfig
 from .charts import cycles_chart
-from .common import cache_rows, format_table, sizes, spm_rows, workflow_for
+from .common import (
+    cache_rows,
+    cache_task,
+    evaluate_points,
+    format_table,
+    sizes,
+    spm_rows,
+    spm_task,
+)
 
 
 def run(fast: bool = False) -> dict:
-    workflow = workflow_for("g721")
     sweep = sizes(fast)
-    spm_points = workflow.spm_sweep(sweep)
-    cache_points = workflow.cache_sweep(sweep)
+    points = evaluate_points(
+        [spm_task("g721", size) for size in sweep]
+        + [cache_task("g721", CacheConfig(size=size)) for size in sweep])
+    spm_points = points[:len(sweep)]
+    cache_points = points[len(sweep):]
 
     rows_a = spm_rows(spm_points)
     rows_b = cache_rows(cache_points)

@@ -7,15 +7,25 @@ roughly constant (the gap reflects typical vs. worst-case *input*, about
 
 from __future__ import annotations
 
+from ..memory.cache import CacheConfig
 from .charts import ratio_chart
-from .common import format_table, sizes, workflow_for
+from .common import (
+    cache_task,
+    evaluate_points,
+    format_table,
+    sizes,
+    spm_task,
+)
 
 
 def run(fast: bool = False) -> dict:
-    workflow = workflow_for("multisort")
     sweep = sizes(fast)
-    spm_points = workflow.spm_sweep(sweep)
-    cache_points = workflow.cache_sweep(sweep)
+    points = evaluate_points(
+        [spm_task("multisort", size) for size in sweep]
+        + [cache_task("multisort", CacheConfig(size=size))
+           for size in sweep])
+    spm_points = points[:len(sweep)]
+    cache_points = points[len(sweep):]
 
     rows = []
     for spm_p, cache_p in zip(spm_points, cache_points):

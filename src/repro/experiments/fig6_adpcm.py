@@ -12,15 +12,26 @@ Paper observations reproduced here:
 
 from __future__ import annotations
 
+from ..memory.cache import CacheConfig
 from .charts import cycles_chart
-from .common import cache_rows, format_table, sizes, spm_rows, workflow_for
+from .common import (
+    cache_rows,
+    cache_task,
+    evaluate_points,
+    format_table,
+    sizes,
+    spm_rows,
+    spm_task,
+)
 
 
 def run(fast: bool = False) -> dict:
-    workflow = workflow_for("adpcm")
     sweep = sizes(fast)
-    spm_points = workflow.spm_sweep(sweep)
-    cache_points = workflow.cache_sweep(sweep)
+    points = evaluate_points(
+        [spm_task("adpcm", size) for size in sweep]
+        + [cache_task("adpcm", CacheConfig(size=size)) for size in sweep])
+    spm_points = points[:len(sweep)]
+    cache_points = points[len(sweep):]
 
     rows_spm = spm_rows(spm_points)
     rows_cache = cache_rows(cache_points)

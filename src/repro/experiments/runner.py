@@ -5,6 +5,15 @@ Usage::
     repro-experiments            # everything, full sweeps
     repro-experiments fig4 fig5  # selected experiments
     repro-experiments --fast     # reduced sweeps (smoke test)
+    repro-experiments --jobs 8   # fan sweep points across 8 processes
+
+``--jobs N`` parallelises *within* the sweep-style experiments (the
+figures and ablations): their (benchmark × memory configuration)
+evaluation points fan out across N worker processes through
+:func:`repro.experiments.common.evaluate_points`, and results merge
+back in deterministic task order — the emitted tables and figures are
+identical to a serial run.  The cheap single-point artefacts (table1,
+table2, fig2, worstcase) always run serially.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ import argparse
 import sys
 import time
 
+from . import common
 from . import (
     ablation_cacheconfig,
     ablation_multilevel,
@@ -51,7 +61,11 @@ def main(argv=None) -> int:
                         help=f"subset of: {', '.join(EXPERIMENTS)}")
     parser.add_argument("--fast", action="store_true",
                         help="reduced sweeps (smoke test)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="fan (benchmark x config) sweep points "
+                             "across N worker processes (default: 1)")
     args = parser.parse_args(argv)
+    common.set_jobs(args.jobs)
 
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]

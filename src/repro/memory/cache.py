@@ -114,12 +114,35 @@ class Cache:
         # insertion order (for FIFO).
         self.sets = [[] for _ in range(config.num_sets)]
         self.stats = CacheStats()
+        # Counters filled by the hierarchy's fast path (hit/miss per
+        # access source, in CacheStats field order); folded into
+        # ``stats`` by :meth:`flush_fast_counts`.
+        self.fast_counts = [0, 0, 0, 0, 0, 0]
         self._victim = 1  # LFSR state for RANDOM
 
     def reset(self):
-        self.sets = [[] for _ in range(self.config.num_sets)]
+        # Clear in place: the fast-path closures built by
+        # MemoryHierarchy bind the set lists and counter list directly.
+        for ways in self.sets:
+            del ways[:]
         self.stats = CacheStats()
+        for i in range(6):
+            self.fast_counts[i] = 0
         self._victim = 1
+
+    def flush_fast_counts(self):
+        """Fold the fast path's plain-int counters into ``stats``."""
+        counts = self.fast_counts
+        if any(counts):
+            stats = self.stats
+            stats.fetch_hits += counts[0]
+            stats.fetch_misses += counts[1]
+            stats.read_hits += counts[2]
+            stats.read_misses += counts[3]
+            stats.write_hits += counts[4]
+            stats.write_misses += counts[5]
+            for i in range(6):
+                counts[i] = 0
 
     # -- internals ----------------------------------------------------------
 

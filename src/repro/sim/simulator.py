@@ -23,10 +23,25 @@ With ``profile=True`` the simulator counts fetches per instruction address
 and data accesses per data address; :mod:`repro.sim.profile` aggregates
 these to per-object counts, which drive the energy-based knapsack exactly
 like the paper's profiling step does.
+
+Two engines execute the same machine model:
+
+* plain timing runs go through the **fast engine**
+  (:mod:`repro.sim.engine`): per-instruction step closures compiled at
+  predecode time, dispatched from a flat array, with plain-int memory
+  costs from the hierarchy's fast path;
+* ``profile=True`` / ``record_misses=True`` runs use the **recording
+  loop** in this module, which allocates per-access outcome objects and
+  per-address counters.
+
+Both report bit-identical cycles, instruction counts, console output and
+cache statistics (``tests/test_sim_fastpath.py`` asserts this for every
+benchmark and hierarchy shape).
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from ..isa.encoding import IllegalInstruction, decode
@@ -38,6 +53,7 @@ from ..memory.timing import (
     instruction_extra_cycles,
 )
 from ..link.image import Image
+from .engine import compile_program
 
 _MASK = 0xFFFFFFFF
 _SIGN = 0x80000000
@@ -89,6 +105,7 @@ class Simulator:
         self._spm_limit = config.spm_size
         self.regs = [0] * 16
         self.n = self.z = self.c = self.v = 0
+        self._engine = None  # compiled lazily on the first fast run
 
     # -- setup ---------------------------------------------------------------
 
@@ -163,42 +180,55 @@ class Simulator:
         return self._set_nz(result)
 
     def _cond_true(self, cond):
-        n, z, c, v = self.n, self.z, self.c, self.v
-        if cond == Cond.EQ:
-            return z == 1
-        if cond == Cond.NE:
-            return z == 0
-        if cond == Cond.HS:
-            return c == 1
-        if cond == Cond.LO:
-            return c == 0
-        if cond == Cond.MI:
-            return n == 1
-        if cond == Cond.PL:
-            return n == 0
-        if cond == Cond.VS:
-            return v == 1
-        if cond == Cond.VC:
-            return v == 0
-        if cond == Cond.HI:
-            return c == 1 and z == 0
-        if cond == Cond.LS:
-            return c == 0 or z == 1
-        if cond == Cond.GE:
-            return n == v
-        if cond == Cond.LT:
-            return n != v
-        if cond == Cond.GT:
-            return z == 0 and n == v
-        if cond == Cond.LE:
-            return z == 1 or n != v
-        return True  # AL
+        return _COND_DISPATCH[cond](self.n, self.z, self.c, self.v)
 
     # -- run -------------------------------------------------------------------
 
     def run(self, max_steps=50_000_000, profile=False,
             record_misses=False) -> SimResult:
-        """Run from the image entry point until ``swi #0``."""
+        """Run from the image entry point until ``swi #0``.
+
+        Plain timing runs execute on the compiled fast engine;
+        ``profile=True`` / ``record_misses=True`` runs take the
+        recording loop, which keeps per-address counters.
+        """
+        if profile or record_misses:
+            return self._run_recording(max_steps, profile, record_misses)
+        return self._run_fast(max_steps)
+
+    def _run_fast(self, max_steps) -> SimResult:
+        if self._engine is None:
+            self._engine = compile_program(
+                self.code, self.ram, self.hierarchy, self.regs,
+                self._spm_limit, SimError, MemoryFault)
+        regs = self.regs
+        regs[13] = STACK_TOP
+        regs[14] = 0
+        engine = self._engine
+        # Flags cross the engine boundary in both directions (the engine
+        # uses a truthiness encoding internally; see engine docstring).
+        flags = engine.flags
+        flags[0] = _SIGN if self.n else 0
+        flags[1] = self.z
+        flags[2] = self.c
+        flags[3] = _SIGN if self.v else 0
+        cycles, steps, exit_code = engine.run(self.image.entry, max_steps)
+        self.n = 1 if flags[0] else 0
+        self.z = 1 if flags[1] else 0
+        self.c = 1 if flags[2] else 0
+        self.v = 1 if flags[3] else 0
+        hierarchy = self.hierarchy
+        hierarchy.flush_fast_stats()
+        return SimResult(
+            cycles=cycles,
+            instructions=steps,
+            exit_code=exit_code,
+            console=list(engine.console),
+            cache_stats=hierarchy.cache_stats,
+            level_stats=hierarchy.level_stats,
+        )
+
+    def _run_recording(self, max_steps, profile, record_misses) -> SimResult:
         regs = self.regs
         regs[13] = STACK_TOP
         regs[14] = 0
@@ -209,11 +239,11 @@ class Simulator:
         cycles = 0
         steps = 0
         exit_code = None
-        fetch_counts = {}
-        data_counts = {}
-        fetch_misses = {}
-        fetch_main_misses = {}
-        read_misses = {}
+        fetch_counts = Counter()
+        data_counts = Counter()
+        fetch_misses = Counter()
+        fetch_main_misses = Counter()
+        read_misses = Counter()
 
         def data_read(instr_pc, addr, width, signed=False):
             nonlocal cycles
@@ -221,9 +251,9 @@ class Simulator:
             outcome = hierarchy.read(addr, width)
             cycles += outcome.cycles
             if profile:
-                data_counts[addr] = data_counts.get(addr, 0) + 1
+                data_counts[addr] += 1
             if record_misses and outcome.missed:
-                read_misses[instr_pc] = read_misses.get(instr_pc, 0) + 1
+                read_misses[instr_pc] += 1
             return value
 
         def data_write(addr, width, value):
@@ -231,7 +261,7 @@ class Simulator:
             self.write_mem(addr, width, value)
             cycles += hierarchy.write(addr, width).cycles
             if profile:
-                data_counts[addr] = data_counts.get(addr, 0) + 1
+                data_counts[addr] += 1
 
         while steps < max_steps:
             instr = code.get(pc)
@@ -248,12 +278,11 @@ class Simulator:
                     second.missed and second.served_by == "main")
                 cycles += second.cycles
             if profile:
-                fetch_counts[pc] = fetch_counts.get(pc, 0) + 1
+                fetch_counts[pc] += 1
             if record_misses and fetch_missed:
-                fetch_misses[pc] = fetch_misses.get(pc, 0) + 1
+                fetch_misses[pc] += 1
                 if from_main:
-                    fetch_main_misses[pc] = \
-                        fetch_main_misses.get(pc, 0) + 1
+                    fetch_main_misses[pc] += 1
             steps += 1
             op = instr.op
             next_pc = pc + instr.size
@@ -540,6 +569,26 @@ _ALU_HANDLERS = {
     Op.MVN: _h_mvn, Op.TST: _h_tst, Op.NEG: _h_neg, Op.CMP: _h_cmp,
     Op.CMN: _h_cmn, Op.ADC: _h_adc, Op.SBC: _h_sbc, Op.MUL: _h_mul,
     Op.LSL: _h_lsl, Op.LSR: _h_lsr, Op.ASR: _h_asr, Op.ROR: _h_ror,
+}
+
+
+#: Condition -> predicate over (n, z, c, v); AL is unconditionally true.
+_COND_DISPATCH = {
+    Cond.EQ: lambda n, z, c, v: z == 1,
+    Cond.NE: lambda n, z, c, v: z == 0,
+    Cond.HS: lambda n, z, c, v: c == 1,
+    Cond.LO: lambda n, z, c, v: c == 0,
+    Cond.MI: lambda n, z, c, v: n == 1,
+    Cond.PL: lambda n, z, c, v: n == 0,
+    Cond.VS: lambda n, z, c, v: v == 1,
+    Cond.VC: lambda n, z, c, v: v == 0,
+    Cond.HI: lambda n, z, c, v: c == 1 and z == 0,
+    Cond.LS: lambda n, z, c, v: c == 0 or z == 1,
+    Cond.GE: lambda n, z, c, v: n == v,
+    Cond.LT: lambda n, z, c, v: n != v,
+    Cond.GT: lambda n, z, c, v: z == 0 and n == v,
+    Cond.LE: lambda n, z, c, v: z == 1 or n != v,
+    Cond.AL: lambda n, z, c, v: True,
 }
 
 

@@ -103,19 +103,22 @@ def analyze_wcet(image: Image, config: SystemConfig, entry: str = "_start",
 
     stack_rng = stack_region(cfgs, entry, entry_by_addr)
 
-    hierarchy_result = None
-    cache_result = None
-    if config.has_cache:
-        hierarchy_result = analyze_hierarchy(
-            image, cfgs, config, stack_rng, entry, persistence=persistence)
-        cache_result = hierarchy_result.primary
-
+    # Resolve every instruction's data access once; the cache analysis
+    # of every level and the cost model all share this map.
     data_accesses = {}
     for cfg in cfgs.values():
         for block in cfg.blocks.values():
             for addr, instr in block.instrs:
                 data_accesses[addr] = resolve_data_access(
                     instr, addr, image, stack_rng)
+
+    hierarchy_result = None
+    cache_result = None
+    if config.has_cache:
+        hierarchy_result = analyze_hierarchy(
+            image, cfgs, config, stack_rng, entry, persistence=persistence,
+            resolved_accesses=data_accesses)
+        cache_result = hierarchy_result.primary
 
     costs = CostModel(config, data_accesses, hierarchy_result)
 

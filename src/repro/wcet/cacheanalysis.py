@@ -75,6 +75,17 @@ class MustCache:
     def __eq__(self, other):
         return self.sets == other.sets
 
+    def fingerprint(self):
+        """Hashable snapshot of the abstract state.
+
+        The fixpoint driver memoizes each node's out-state fingerprint,
+        so an unchanged transfer result short-circuits all successor
+        joins instead of deep-comparing dicts edge by edge.
+        """
+        return tuple(sorted(
+            (index, tuple(sorted(ages.items())))
+            for index, ages in self.sets.items() if ages))
+
     # -- transfer -----------------------------------------------------------
 
     def _age_younger(self, ages, block: int, threshold: int):
@@ -195,6 +206,13 @@ class MayCache:
                         {s: (blocks if blocks is MAY_TOP else set(blocks))
                          for s, blocks in self.sets.items()})
 
+    def fingerprint(self):
+        """Hashable snapshot (see :meth:`MustCache.fingerprint`)."""
+        return tuple(sorted(
+            (index, MAY_TOP if blocks is MAY_TOP
+             else tuple(sorted(blocks)))
+            for index, blocks in self.sets.items() if blocks))
+
     def add_block(self, block: int):
         index = block % self.config.num_sets
         blocks = self.sets.get(index)
@@ -301,7 +319,8 @@ class CacheAnalysis:
     def __init__(self, image, cfgs: dict, config: CacheConfig,
                  stack_range, entry_name: str, persistence=False, *,
                  serves_fetch=True, serves_data=None, spm_size=0,
-                 fetch_cac=None, data_cac=None, always_miss=False):
+                 fetch_cac=None, data_cac=None, always_miss=False,
+                 resolved_accesses=None):
         self.image = image
         self.cfgs = cfgs
         self.config = config
@@ -317,19 +336,39 @@ class CacheAnalysis:
         self.data_cac = data_cac
         self._entry_by_addr = {cfg.entry: name
                                for name, cfg in cfgs.items()}
+        # Worklist machinery shared by the MUST and MAY fixpoints.
+        self._succs = None
+        self._rpo_index = None
         # Pre-resolve every instruction's data access and compile it to a
         # cheap "plan" so the fixpoint loop never re-derives address sets.
+        # *resolved_accesses* (addr -> DataAccess) lets a multi-level
+        # analysis resolve each instruction once and share the result
+        # across every level's CacheAnalysis.
         self._data = {}
         self._plan = {}
         self._read_blocks = {}   # addr -> blocks that must all hit for AH
         for cfg in cfgs.values():
             for block in cfg.blocks.values():
                 for addr, instr in block.instrs:
-                    access = resolve_data_access(
-                        instr, addr, image, stack_range)
+                    if resolved_accesses is not None:
+                        access = resolved_accesses[addr]
+                    else:
+                        access = resolve_data_access(
+                            instr, addr, image, stack_range)
                     self._data[addr] = access
                     self._plan[addr] = self._compile_plan(access)
                     self._read_blocks[addr] = self._compile_read(access)
+        # Per-basic-block transfer programs: the CAC decisions, block
+        # numbers and plan lookups above are all static per analysis, so
+        # the fixpoint replays a flat step list instead of re-deriving
+        # them on every iteration.
+        self._must_progs = {}
+        self._may_progs = {}
+        for name, cfg in cfgs.items():
+            for baddr, block in cfg.blocks.items():
+                must, may = self._compile_block(block)
+                self._must_progs[(name, baddr)] = must
+                self._may_progs[(name, baddr)] = may
 
     def _cached_ranges(self, ranges):
         """Clip *ranges* to the part behind the cache (above the SPM)."""
@@ -523,6 +562,105 @@ class CacheAnalysis:
                     if evict and self._data_cac_for(addr) != "N":
                         state.mark_all_top()
 
+    # -- compiled transfer programs ---------------------------------------------
+
+    def _compile_block(self, block):
+        """Compile one basic block into flat MUST and MAY step lists.
+
+        Everything the per-instruction transfers re-derive on every
+        fixpoint iteration — spm clipping, CAC decisions, block numbers,
+        plan lookups — is static for one analysis, so it is folded here
+        once.  The classification passes keep using the original
+        ``_transfer_block``/``_transfer_block_may`` (whose state updates
+        these programs mirror exactly).
+        """
+        block_of = self.config.block_of
+        fetch_cac = self.fetch_cac
+        must = []
+        may = []
+        for addr, instr in block.instrs:
+            if self.serves_fetch and addr >= self.spm_size:
+                cac = "A" if fetch_cac is None else fetch_cac.get(addr, "U")
+                if cac != "N":
+                    opcode = 0 if cac == "A" else 1
+                    fetch_block = block_of(addr)
+                    must.append((opcode, fetch_block))
+                    may.append((0, fetch_block))
+                    if instr.size == 4:
+                        second = block_of(addr + 2)
+                        if second != fetch_block:
+                            must.append((opcode, second))
+                            may.append((0, second))
+            if self.serves_data:
+                plan = self._plan[addr]
+                if plan is None:
+                    continue
+                kind = plan[0]
+                if kind == "rblock":
+                    cac = self._data_cac_for(addr)
+                    if cac == "N":
+                        continue
+                    _kind, target, count = plan
+                    must.append((2 if cac == "A" else 3, target, count))
+                    may.append((0, target))
+                elif kind == "wblock":
+                    must.append((4, plan[1]))
+                elif kind == "sets":
+                    _kind, sets, evict, count = plan
+                    if evict and self._data_cac_for(addr) == "N":
+                        continue
+                    must.append((5, sets, evict, count))
+                    if evict:
+                        may.append((1, sets))
+                else:  # allsets
+                    _kind, evict, count = plan
+                    if evict and self._data_cac_for(addr) == "N":
+                        continue
+                    must.append((6, evict, count))
+                    if evict:
+                        may.append((2,))
+        return tuple(must), tuple(may)
+
+    @staticmethod
+    def _run_must_prog(state: MustCache, prog):
+        for step in prog:
+            opcode = step[0]
+            if opcode == 0:
+                state.access_block(step[1])
+            elif opcode == 1:
+                state.access_block_uncertain(step[1])
+            elif opcode == 2:
+                for _ in range(step[2]):
+                    state.access_block(step[1])
+            elif opcode == 3:
+                for _ in range(step[2]):
+                    state.access_block_uncertain(step[1])
+            elif opcode == 4:
+                target = step[1]
+                state.access_block(target, allocate=state.contains(target))
+            elif opcode == 5:
+                _opcode, sets, evict, count = step
+                for _ in range(count):
+                    for index in sets:
+                        state.age_set(index, evict=evict)
+            else:
+                _opcode, evict, count = step
+                for _ in range(count):
+                    for index in list(state.sets):
+                        state.age_set(index, evict=evict)
+
+    @staticmethod
+    def _run_may_prog(state: MayCache, prog):
+        for step in prog:
+            opcode = step[0]
+            if opcode == 0:
+                state.add_block(step[1])
+            elif opcode == 1:
+                for index in step[1]:
+                    state.mark_top(index)
+            else:
+                state.mark_all_top()
+
     # -- fixpoint ---------------------------------------------------------------
 
     def _interproc_succs(self):
@@ -547,35 +685,85 @@ class CacheAnalysis:
                 succs.setdefault(node, []).extend(out)
         return succs
 
-    def _fixpoint(self, entry_state, transfer):
-        """Worklist fixpoint from a cold entry state; returns in-states."""
+    def _succs_cached(self):
+        if self._succs is None:
+            self._succs = self._interproc_succs()
+        return self._succs
+
+    def _rpo(self):
+        """node -> reverse-post-order index over the interprocedural
+        graph (computed once, shared by the MUST and MAY fixpoints)."""
+        if self._rpo_index is not None:
+            return self._rpo_index
+        succs = self._succs_cached()
+        entry = (self.entry_name, self.cfgs[self.entry_name].entry)
+        seen = {entry}
+        order = []
+        stack = [(entry, iter(succs.get(entry, ())))]
+        while stack:
+            node, remaining = stack[-1]
+            advanced = False
+            for succ in remaining:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(succs.get(succ, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                order.append(node)
+        order.reverse()
+        self._rpo_index = {node: i for i, node in enumerate(order)}
+        return self._rpo_index
+
+    def _fixpoint(self, entry_state, run_prog, progs):
+        """Reverse-post-order worklist fixpoint; returns in-states.
+
+        Nodes are processed in RPO (a priority queue over the RPO
+        index), so a change flows through a whole procedure before its
+        loop headers are revisited — far fewer re-transfers than the
+        LIFO stack this replaces.  Each node's out-state fingerprint is
+        memoized: when a re-transfer reproduces the previous out-state,
+        the successor joins (deep dict walks) are skipped entirely.
+        """
+        import heapq
+
         cfgs = self.cfgs
         # Node = (func_name, block_addr). in-states start unknown (None);
         # the program entry starts cold (empty state), which is sound for
         # both directions: nothing guaranteed, nothing possibly resident.
-        in_states = {}
-        entry_cfg = cfgs[self.entry_name]
-        in_states[(self.entry_name, entry_cfg.entry)] = entry_state
-        succs = self._interproc_succs()
+        entry = (self.entry_name, cfgs[self.entry_name].entry)
+        in_states = {entry: entry_state}
+        succs = self._succs_cached()
+        rpo = self._rpo()
+        fallback = len(rpo)
 
-        work = [(self.entry_name, entry_cfg.entry)]
+        heap = [(rpo.get(entry, fallback), entry)]
+        pending = {entry}
+        out_fingerprints = {}
         iterations = 0
         limit = 400 * sum(len(c.blocks) for c in cfgs.values()) + 10_000
-        while work:
+        while heap:
             iterations += 1
             if iterations > limit:
                 raise RuntimeError("cache fixpoint failed to converge")
-            node = work.pop()
-            name, baddr = node
+            _, node = heapq.heappop(heap)
+            pending.discard(node)
             state = in_states[node].copy()
-            transfer(state, cfgs[name].blocks[baddr])
+            run_prog(state, progs[node])
+            fingerprint = state.fingerprint()
+            if out_fingerprints.get(node) == fingerprint:
+                continue  # same out-state as last time: nothing to push
+            out_fingerprints[node] = fingerprint
             for succ in succs.get(node, ()):
                 current = in_states.get(succ)
                 if current is None:
                     in_states[succ] = state.copy()
-                    work.append(succ)
-                elif current.join_with(state):
-                    work.append(succ)
+                elif not current.join_with(state):
+                    continue
+                if succ not in pending:
+                    pending.add(succ)
+                    heapq.heappush(heap, (rpo.get(succ, fallback), succ))
         return in_states
 
     def _classify_pass(self, in_states, transfer, classify):
@@ -589,7 +777,7 @@ class CacheAnalysis:
 
     def run(self) -> CacheAnalysisResult:
         in_states = self._fixpoint(MustCache(self.config),
-                                   self._transfer_block)
+                                   self._run_must_prog, self._must_progs)
 
         # Classification pass.
         result = CacheAnalysisResult(config=self.config)
@@ -608,7 +796,7 @@ class CacheAnalysis:
 
         if self.always_miss:
             may_states = self._fixpoint(MayCache(self.config),
-                                        self._transfer_block_may)
+                                        self._run_may_prog, self._may_progs)
 
             def classify_am(addr, what, miss):
                 entry = classes.setdefault(addr, AccessClass())
@@ -769,16 +957,27 @@ def _chain_cac(prev_cac, result, addrs, what):
 
 
 def analyze_hierarchy(image, cfgs, config, stack_range, entry_name,
-                      persistence=False) -> HierarchyCacheResult:
+                      persistence=False,
+                      resolved_accesses=None) -> HierarchyCacheResult:
     """Classify every cache level of *config*'s pipeline, outermost first.
 
     *config* is a :class:`~repro.memory.hierarchy.SystemConfig`.  Each
     level is analysed under the CAC derived from the level above;
     persistence (first-miss) applies to the outermost level only, where
-    every access is definite.
+    every access is definite.  *resolved_accesses* (addr -> DataAccess)
+    is computed here when not supplied and shared by every level's
+    analysis, so address resolution runs once per image rather than
+    once per cache level.
     """
     spm_size = config.spm_size
     specs = config.cache_level_specs
+    if resolved_accesses is None:
+        resolved_accesses = {}
+        for cfg in cfgs.values():
+            for block in cfg.blocks.values():
+                for addr, instr in block.instrs:
+                    resolved_accesses[addr] = resolve_data_access(
+                        instr, addr, image, stack_range)
     fetch_cac = None
     data_cac = None
     out = HierarchyCacheResult()
@@ -795,7 +994,8 @@ def analyze_hierarchy(image, cfgs, config, stack_range, entry_name,
                 persistence=persistence and outermost,
                 serves_fetch=True, serves_data=True, spm_size=spm_size,
                 fetch_cac=fetch_cac, data_cac=data_cac,
-                always_miss=chained)
+                always_miss=chained,
+                resolved_accesses=resolved_accesses)
             iresult = dresult = analysis.run()
             addrs = addrs or list(analysis.all_addrs())
         else:
@@ -805,7 +1005,8 @@ def analyze_hierarchy(image, cfgs, config, stack_range, entry_name,
                     persistence=persistence and outermost,
                     serves_fetch=True, serves_data=False,
                     spm_size=spm_size, fetch_cac=fetch_cac,
-                    always_miss=chained)
+                    always_miss=chained,
+                    resolved_accesses=resolved_accesses)
                 iresult = analysis.run()
                 addrs = addrs or list(analysis.all_addrs())
             if level.dcache is not None:
@@ -813,7 +1014,8 @@ def analyze_hierarchy(image, cfgs, config, stack_range, entry_name,
                     image, cfgs, level.dcache, stack_range, entry_name,
                     serves_fetch=False, serves_data=True,
                     spm_size=spm_size, data_cac=data_cac,
-                    always_miss=chained)
+                    always_miss=chained,
+                    resolved_accesses=resolved_accesses)
                 dresult = analysis.run()
                 addrs = addrs or list(analysis.all_addrs())
         out.levels.append(LevelClassification(

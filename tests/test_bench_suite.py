@@ -1,0 +1,49 @@
+"""Structure checks for the unified benchmark suite.
+
+The suite's *numbers* are machine-dependent and guarded by the CI
+bench-smoke job (``bench_suite.py --check``); these tests assert the
+semantic anchors and report shapes so a refactor cannot silently drop a
+measured point or change what a run simulates.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+sys.path.insert(0, str(_BENCH_DIR))
+
+import bench_suite  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def sim_report():
+    return bench_suite.bench_simulator(rounds=1)
+
+
+def test_simulator_report_shape(sim_report):
+    assert set(sim_report) == {"uncached", "l1", "l1+l2", "split-i/d"}
+    for entry in sim_report.values():
+        assert entry["instructions_per_sec"] > 0
+        assert entry["seconds"] > 0
+
+
+def test_simulator_semantic_anchors(sim_report):
+    committed = json.loads(
+        (_BENCH_DIR / "BENCH_hierarchy.json").read_text())
+    for label, entry in sim_report.items():
+        # Cycles and instruction counts are simulation facts, not
+        # timings: they must match the committed trajectory baseline.
+        assert entry["sim_cycles"] == committed[label]["sim_cycles"]
+        assert entry["instructions"] == committed[label]["instructions"]
+
+
+def test_wcet_report_anchors():
+    report = bench_suite.bench_wcet(rounds=1)
+    committed = json.loads((_BENCH_DIR / "BENCH_wcet.json").read_text())
+    assert set(report) == set(committed)
+    for label, entry in report.items():
+        assert entry["wcet_cycles"] == committed[label]["wcet_cycles"]
+        assert entry["seconds"] > 0

@@ -30,6 +30,48 @@ class TestRunnerCli:
         with pytest.raises(SystemExit):
             main(["not_an_experiment"])
 
+    def test_jobs_flag_accepted(self, capsys):
+        from repro.experiments import common
+        try:
+            assert main(["table1", "--fast", "--jobs", "2"]) == 0
+        finally:
+            common.set_jobs(1)
+        assert "===== table1" in capsys.readouterr().out
+
+
+class TestParallelSweepLayer:
+    """evaluate_points must merge worker results deterministically."""
+
+    def _rows(self, points):
+        return [p.row() for p in points]
+
+    def test_parallel_matches_serial(self):
+        from repro.experiments import common
+        from repro.memory.cache import CacheConfig
+        tasks = [
+            common.uncached_task("crc"),
+            common.cache_task("crc", CacheConfig(size=256)),
+            common.cache_task("crc", CacheConfig(size=512)),
+            common.spm_task("crc", 128),
+            common.hybrid_task("crc", 128, CacheConfig(size=256)),
+            common.multilevel_task("crc", CacheConfig(size=256),
+                                   CacheConfig(size=1024)),
+            common.split_task("crc", CacheConfig(size=256, unified=False),
+                              CacheConfig(size=256)),
+        ]
+        serial = self._rows(common.evaluate_points(tasks))
+        common.set_jobs(2)
+        try:
+            parallel = self._rows(common.evaluate_points(tasks))
+        finally:
+            common.set_jobs(1)
+        assert parallel == serial
+
+    def test_unknown_task_kind_rejected(self):
+        from repro.experiments.common import _evaluate_task
+        with pytest.raises(ValueError):
+            _evaluate_task(("crc", "warp-drive", ()))
+
 
 class TestConsistency:
     """Sim and analyser must agree exactly on branch-free code.
