@@ -8,12 +8,20 @@ writes one JSON artefact per engine, next to this file:
   :mod:`bench_hierarchy`), plus the speedup factor versus the committed
   ``BENCH_hierarchy.json`` trajectory baseline;
 * ``BENCH_wcet.json`` — wall seconds for a whole-program WCET analysis
-  on representative (benchmark × hierarchy) points, plus the computed
-  bound (so an accidental semantic change shows up in review).
+  on every hierarchy shape × {g721, adpcm, multisort} point, plus the
+  computed bound (so an accidental semantic change shows up in review).
+  Each point records ``cold_seconds`` (first run after
+  ``clear_analysis_caches()``: the full CFG + fixpoint + IPET cost) and
+  ``seconds`` (best of the remaining rounds, i.e. the warm path a sweep
+  actually pays, with the content-addressed reuse caches hitting);
+* ``BENCH_experiments.json`` — wall seconds per full-sweep experiment
+  (the ``repro-experiments`` artefact regeneration), the end-to-end
+  number the two baselines above exist to protect.
 
-Every measurement is the best of ``--rounds`` (default 3)
-``time.perf_counter`` runs on a freshly built simulator/analysis, so
-one-off scheduler noise doesn't contaminate the committed baselines.
+Every timing is the best of ``--rounds`` (default 3)
+``time.perf_counter`` runs (experiments run once: they are long and
+internally averaged enough to be stable), so one-off scheduler noise
+doesn't contaminate the committed baselines.
 
 CI runs ``python benchmarks/bench_suite.py --check``, which re-measures
 and fails when any point regresses by more than ``--tolerance`` (default
@@ -38,7 +46,7 @@ from repro.link import link
 from repro.memory import CacheConfig, SystemConfig
 from repro.minic import compile_source
 from repro.sim import simulate
-from repro.wcet.analyzer import analyze_wcet
+from repro.wcet.analyzer import analyze_wcet, clear_analysis_caches
 
 from bench_hierarchy import CONFIGS as SIM_CONFIGS
 
@@ -46,18 +54,25 @@ _HERE = Path(__file__).parent
 SIM_BASELINE = _HERE / "BENCH_hierarchy.json"
 SIM_REPORT = _HERE / "BENCH_simulator.json"
 WCET_REPORT = _HERE / "BENCH_wcet.json"
+EXPERIMENTS_REPORT = _HERE / "BENCH_experiments.json"
+
+#: The four hierarchy shapes every WCET benchmark is analysed under.
+WCET_SHAPES = (
+    ("uncached", lambda: SystemConfig.uncached()),
+    ("l1-256", lambda: SystemConfig.cached(CacheConfig(size=256))),
+    ("l1+l2", lambda: SystemConfig.two_level(CacheConfig(size=256),
+                                             CacheConfig(size=1024))),
+    ("split-i/d", lambda: SystemConfig.split_l1(
+        CacheConfig(size=256, unified=False), CacheConfig(size=256))),
+)
+
+WCET_BENCHMARKS = ("g721", "adpcm", "multisort")
 
 #: (label, benchmark, SystemConfig) points for the WCET timing section.
-WCET_POINTS = (
-    ("g721/l1-256", "g721",
-     SystemConfig.cached(CacheConfig(size=256))),
-    ("g721/l1+l2", "g721",
-     SystemConfig.two_level(CacheConfig(size=256),
-                            CacheConfig(size=1024))),
-    ("adpcm/split-i/d", "adpcm",
-     SystemConfig.split_l1(CacheConfig(size=256, unified=False),
-                           CacheConfig(size=256))),
-    ("multisort/uncached", "multisort", SystemConfig.uncached()),
+WCET_POINTS = tuple(
+    (f"{bench}/{shape}", bench, make_config())
+    for bench in WCET_BENCHMARKS
+    for shape, make_config in WCET_SHAPES
 )
 
 _IMAGES = {}
@@ -108,21 +123,84 @@ def bench_simulator(rounds=3) -> dict:
 
 
 def bench_wcet(rounds=3) -> dict:
-    """WCET analysis wall time per representative point."""
+    """WCET analysis wall time per (benchmark × hierarchy shape) point.
+
+    Each point is timed cold (analysis caches cleared first: the full
+    CFG reconstruction + cache fixpoints + IPET cost) and then warm
+    (best of the remaining rounds, with the content-addressed reuse
+    caches hitting — what a configuration sweep actually pays per
+    repeated point).  ``seconds`` is the best overall round, matching
+    how sweeps consume the analyser; ``cold_seconds`` keeps the
+    no-cache cost honest and regression-guarded too.
+    """
     report = {}
     for label, bench, config in WCET_POINTS:
         image = _image(bench)
-        seconds, result = _best_of(
-            rounds,
-            lambda image=image, config=config: analyze_wcet(image, config))
+        clear_analysis_caches()
+        run = lambda image=image, config=config: analyze_wcet(image, config)
+        start = time.perf_counter()
+        result = run()
+        cold = time.perf_counter() - start
+        best, result = _best_of(max(rounds - 1, 1), run)
         report[label] = {
             "wcet_cycles": result.wcet,
-            "seconds": round(seconds, 4),
+            "seconds": round(min(cold, best), 4),
+            "cold_seconds": round(cold, 4),
         }
     return report
 
 
-def check(sim_report, wcet_report, tolerance) -> int:
+def bench_experiments() -> dict:
+    """Wall time of every full-sweep experiment, runner-style.
+
+    Experiments share the process-wide workflow and analysis caches
+    exactly as ``repro-experiments`` does, so the committed numbers
+    reflect (and guard) the cross-point reuse the analyser caches buy.
+    Runs each experiment once — a full sweep is long enough to be
+    timing-stable, and CI cannot afford best-of-N here.
+    """
+    from repro.experiments.runner import EXPERIMENTS
+
+    report = {}
+    total = 0.0
+    for name, run in EXPERIMENTS.items():
+        start = time.perf_counter()
+        run(fast=False)
+        seconds = time.perf_counter() - start
+        report[name] = {"seconds": round(seconds, 2)}
+        total += seconds
+    report["total"] = {"seconds": round(total, 2)}
+    return report
+
+
+def _check_seconds(kind, label, measured, base, floor, slack=0.0,
+                   gate=True) -> bool:
+    """Print one seconds-based comparison; True when it regressed.
+
+    *slack* is an absolute allowance on top of the relative floor: the
+    warm WCET entries are single-digit milliseconds, where a GC pause
+    or noisy-neighbor blip on a hosted runner dwarfs a 30% margin.  A
+    few ms of slack keeps those gates jitter-proof while still failing
+    on the cliff that matters (warm collapsing to the 10-80 ms cold
+    path when a reuse cache dies).  With ``gate=False`` the comparison
+    is printed as ``info`` and never counts as a regression.
+    """
+    if not base:
+        return False
+    # Throughput ratio: committed seconds / measured seconds.
+    ratio = base / measured if measured else 1.0
+    if not gate:
+        status = "info"
+    elif measured <= base / floor + slack:
+        status = "ok"
+    else:
+        status = "REGRESSION"
+    print(f"{kind} {label:24} {measured:.4f}s"
+          f"  ({ratio:.2f}x committed)  {status}")
+    return status == "REGRESSION"
+
+
+def check(sim_report, wcet_report, experiments_report, tolerance) -> int:
     """Compare fresh measurements against the committed baselines.
 
     Returns the number of regressions beyond *tolerance* (a fraction:
@@ -146,17 +224,30 @@ def check(sim_report, wcet_report, tolerance) -> int:
     if WCET_REPORT.exists():
         committed = json.loads(WCET_REPORT.read_text())
         for label, entry in wcet_report.items():
-            base = committed.get(label, {}).get("seconds")
-            if not base:
-                continue
-            # Throughput ratio: committed seconds / measured seconds.
-            ratio = base / entry["seconds"] if entry["seconds"] else 1.0
-            status = "ok" if ratio >= floor else "REGRESSION"
-            print(f"wcet {label:20} {entry['seconds']:.4f}s"
-                  f"  ({ratio:.2f}x committed)  {status}")
-            failures += status != "ok"
+            base = committed.get(label, {})
+            failures += _check_seconds(
+                "wcet", label, entry["seconds"], base.get("seconds"),
+                floor, slack=0.005)
+            if "cold_seconds" in entry and base.get("cold_seconds"):
+                failures += _check_seconds(
+                    "wcet", label + " (cold)", entry["cold_seconds"],
+                    base["cold_seconds"], floor, slack=0.005)
     else:
         print(f"wcet baseline {WCET_REPORT.name} missing; nothing to check")
+    if experiments_report is not None:
+        if EXPERIMENTS_REPORT.exists():
+            committed = json.loads(EXPERIMENTS_REPORT.read_text())
+            for label, entry in experiments_report.items():
+                # Only the aggregate is a gate: individual experiments
+                # are short and cross-coupled through the shared
+                # caches, too noisy for a hard floor.
+                failures += _check_seconds(
+                    "swp ", label, entry["seconds"],
+                    committed.get(label, {}).get("seconds"), floor,
+                    gate=label == "total")
+        else:
+            print(f"sweep baseline {EXPERIMENTS_REPORT.name} missing; "
+                  "nothing to check")
     return failures
 
 
@@ -172,13 +263,19 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed throughput regression fraction for "
                              "--check (default 0.30)")
+    parser.add_argument("--skip-experiments", action="store_true",
+                        help="skip the full-sweep wall-time section "
+                             "(it regenerates every paper artefact)")
     args = parser.parse_args(argv)
 
     sim_report = bench_simulator(args.rounds)
     wcet_report = bench_wcet(args.rounds)
+    experiments_report = (None if args.skip_experiments
+                          else bench_experiments())
 
     if args.check:
-        failures = check(sim_report, wcet_report, args.tolerance)
+        failures = check(sim_report, wcet_report, experiments_report,
+                         args.tolerance)
         if failures:
             print(f"{failures} benchmark(s) regressed beyond "
                   f"{100 * args.tolerance:.0f}%")
@@ -188,14 +285,20 @@ def main(argv=None) -> int:
 
     SIM_REPORT.write_text(json.dumps(sim_report, indent=2) + "\n")
     WCET_REPORT.write_text(json.dumps(wcet_report, indent=2) + "\n")
+    if experiments_report is not None:
+        EXPERIMENTS_REPORT.write_text(
+            json.dumps(experiments_report, indent=2) + "\n")
     for label, entry in sim_report.items():
         speedup = entry.get("speedup_vs_baseline")
         extra = f"  ({speedup}x baseline)" if speedup else ""
         print(f"sim  {label:12} {entry['instructions_per_sec']:>9} "
               f"instr/s{extra}")
     for label, entry in wcet_report.items():
-        print(f"wcet {label:20} {entry['seconds']:.4f}s "
+        print(f"wcet {label:20} {entry['seconds']:.4f}s warm / "
+              f"{entry['cold_seconds']:.4f}s cold "
               f"(WCET {entry['wcet_cycles']} cycles)")
+    for label, entry in (experiments_report or {}).items():
+        print(f"swp  {label:20} {entry['seconds']:.2f}s")
     return 0
 
 

@@ -196,6 +196,11 @@ def cmd_wcet(args):
                 print(f"  {entry.level.name} classification: "
                       f"{deeper.count(AH)} always-hit "
                       f"(of the L1 misses reaching it)")
+    if args.profile:
+        from .wcet.analyzer import analysis_counters
+        print("  analysis counters:")
+        for key, value in sorted(analysis_counters().items()):
+            print(f"    {key:16} {value:>8}")
     return 0
 
 
@@ -263,6 +268,11 @@ def main(argv=None) -> int:
                 "--record-misses", action="store_true",
                 help="use the recording engine and report the hottest "
                      "fetch-miss addresses")
+        if name == "wcet":
+            command.add_argument(
+                "--profile", action="store_true",
+                help="print analysis reuse-cache and state-interning "
+                     "counters after the run")
         command.set_defaults(func=func)
     args = parser.parse_args(argv)
     return args.func(args)

@@ -17,9 +17,12 @@ artefacts are identical whichever way they were produced.
 from __future__ import annotations
 
 import multiprocessing
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 
 from ..benchmarks import get as get_benchmark
+from ..wcet.cacheanalysis import set_analysis_cache_dir
 from ..workflow import PAPER_SIZES, Workflow
 
 #: Reduced sweep for fast/benchmark runs.
@@ -74,6 +77,24 @@ def hybrid_task(bench: str, spm_size: int, cache, method: str = "energy"):
     return (bench, "hybrid", (spm_size, cache, method))
 
 
+def _init_worker(bench_keys, profile_keys, cache_dir):
+    """Worker bootstrap for :func:`evaluate_points` pools.
+
+    Warms the per-worker workflow cache once at startup (a no-op on
+    fork platforms, where the parent's warmed cache is inherited; a
+    one-off compile+profile on spawn platforms, instead of redoing it
+    lazily per benchmark mid-sweep) and joins the run's shared on-disk
+    analysis reuse cache so workers reuse each other's per-level
+    cache-analysis fixpoints.
+    """
+    global _JOBS
+    _JOBS = 1  # workers never nest their own pools
+    if cache_dir:
+        set_analysis_cache_dir(cache_dir)
+    for key in bench_keys:
+        workflow_for(key).warm(profile=key in profile_keys)
+
+
 def _evaluate_task(task):
     """Evaluate one task tuple in this process (worker entry point)."""
     bench, kind, params = task
@@ -110,19 +131,28 @@ def evaluate_points(tasks):
     tasks = list(tasks)
     if _JOBS <= 1 or len(tasks) <= 1:
         return [_evaluate_task(task) for task in tasks]
-    needs_profile = {t[0] for t in tasks if t[1] in ("spm", "hybrid")}
-    for key in dict.fromkeys(t[0] for t in tasks):
-        workflow = workflow_for(key)
-        if key in needs_profile:
-            workflow.profile()
+    bench_keys = tuple(dict.fromkeys(t[0] for t in tasks))
+    needs_profile = frozenset(
+        t[0] for t in tasks if t[1] in ("spm", "hybrid"))
+    for key in bench_keys:
+        workflow_for(key).warm(profile=key in needs_profile)
     try:
         context = multiprocessing.get_context("fork")
-    except ValueError:  # platform without fork: workers rebuild caches
+    except ValueError:  # platform without fork: the initializer rebuilds
         context = multiprocessing.get_context()
     workers = min(_JOBS, len(tasks))
-    with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=context) as pool:
-        return list(pool.map(_evaluate_task, tasks))
+    # Shared scratch directory for the content-addressed analysis reuse
+    # cache: a per-level fixpoint computed by one worker is loaded, not
+    # recomputed, by every other worker that needs the same analysis.
+    cache_dir = tempfile.mkdtemp(prefix="repro-analysis-")
+    try:
+        with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context,
+                initializer=_init_worker,
+                initargs=(bench_keys, needs_profile, cache_dir)) as pool:
+            return list(pool.map(_evaluate_task, tasks))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
 
 
 def format_table(headers, rows) -> str:

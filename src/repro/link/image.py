@@ -12,6 +12,7 @@ An :class:`Image` carries, exactly as the paper's flow does:
 from __future__ import annotations
 
 import bisect
+import hashlib
 from dataclasses import dataclass
 
 
@@ -56,6 +57,33 @@ class Image:
         self.config_name = config_name
         self._seg_bases = [base for base, _ in self.segments]
         self._objs_by_name = {obj.name: obj for obj in self.objects}
+        self._content_key = None
+
+    def content_key(self) -> str:
+        """Stable content hash of everything analyses consume.
+
+        Two images with the same key yield identical CFGs, data-access
+        resolutions and loop bounds, so it is the root of every
+        content-addressed analysis cache (``config_name`` is a display
+        label and deliberately excluded).
+        """
+        key = self._content_key
+        if key is None:
+            digest = hashlib.sha256()
+            for base, payload in self.segments:
+                digest.update(base.to_bytes(8, "little"))
+                digest.update(bytes(payload))
+            digest.update(repr((
+                sorted(self.symbols.items()),
+                [(o.name, o.kind, o.base, o.size, o.region, o.readonly,
+                  o.element_width) for o in self.objects],
+                self.entry,
+                sorted(self.access_notes.items()),
+                sorted(self.loop_bounds.items()),
+                sorted(self.loop_totals.items()),
+            )).encode())
+            key = self._content_key = digest.hexdigest()
+        return key
 
     # -- lookup helpers ------------------------------------------------------
 

@@ -1,7 +1,13 @@
 """Static WCET analysis (the aiT role in the paper's workflow)."""
 
-from .accesses import DataAccess, resolve_data_access
-from .analyzer import WCETError, WCETResult, analyze_wcet
+from .accesses import DataAccess, resolve_all, resolve_data_access
+from .analyzer import (
+    WCETError,
+    WCETResult,
+    analysis_counters,
+    analyze_wcet,
+    clear_analysis_caches,
+)
 from .annotations import (
     AnnotationSet,
     MemoryArea,
@@ -16,7 +22,9 @@ from .cacheanalysis import (
     CacheAnalysis,
     CacheAnalysisResult,
     HierarchyCacheResult,
+    PackedCacheDomain,
     analyze_hierarchy,
+    set_analysis_cache_dir,
 )
 from .cfg import BasicBlock, CFGError, FunctionCFG, build_all_cfgs, \
     build_function_cfg
@@ -26,12 +34,14 @@ from .loops import Loop, LoopError, compute_dominators, find_natural_loops, \
 from .stackdepth import StackAnalysisError, max_stack_depth, stack_region
 
 __all__ = [
-    "DataAccess", "resolve_data_access",
+    "DataAccess", "resolve_all", "resolve_data_access",
     "WCETError", "WCETResult", "analyze_wcet",
+    "analysis_counters", "clear_analysis_caches",
     "AnnotationSet", "MemoryArea", "format_annotations",
     "generate_annotations", "parse_annotations",
     "AH", "FM", "NC", "CacheAnalysis", "CacheAnalysisResult",
-    "HierarchyCacheResult", "analyze_hierarchy",
+    "HierarchyCacheResult", "PackedCacheDomain", "analyze_hierarchy",
+    "set_analysis_cache_dir",
     "BasicBlock", "CFGError", "FunctionCFG", "build_all_cfgs",
     "build_function_cfg",
     "IPETError", "IPETResult", "solve_function_ipet",

@@ -46,6 +46,22 @@ class DataAccess:
         return self.ranges[0][0]
 
 
+def resolve_all(image: Image, cfgs: dict, stack_range) -> dict:
+    """``addr -> DataAccess`` for every instruction of every CFG.
+
+    One shared resolution pass: the analyser driver, every cache
+    level's analysis and the cost model all consume this map, so the
+    note/symbol lookups run once per image instead of once per level.
+    """
+    accesses = {}
+    for cfg in cfgs.values():
+        for block in cfg.blocks.values():
+            for addr, instr in block.instrs:
+                accesses[addr] = resolve_data_access(
+                    instr, addr, image, stack_range)
+    return accesses
+
+
 def resolve_data_access(instr, addr: int, image: Image, stack_range):
     """Return a :class:`DataAccess` for *instr* at *addr*, or None."""
     op = instr.op

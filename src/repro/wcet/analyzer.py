@@ -11,6 +11,14 @@ Pipeline, mirroring the separated cache/path architecture the paper cites
 4. bottom-up per-function IPET (callee WCETs fold into call sites;
    recursion is rejected);
 5. the program WCET is the entry function's bound.
+
+All repeated work is content-addressed (see ``docs/performance.md``):
+the *frontend* (CFG reconstruction, stack analysis, access resolution)
+is memoized per image content hash, each cache level's fixpoints go
+through :mod:`~repro.wcet.cacheanalysis`'s reuse cache, and per-function
+IPET solutions are memoized on their exact inputs (costs, edge extras,
+scope penalties).  A sweep that re-analyses one image under many memory
+configurations therefore only pays for what actually changed.
 """
 
 from __future__ import annotations
@@ -20,7 +28,8 @@ from dataclasses import dataclass, field
 from ..isa.opcodes import Op
 from ..link.image import Image
 from ..memory.hierarchy import SystemConfig
-from .accesses import resolve_data_access
+from . import cacheanalysis
+from .accesses import resolve_all
 from .cacheanalysis import FM, analyze_hierarchy
 from .cfg import build_all_cfgs
 from .costmodel import CostModel
@@ -31,6 +40,74 @@ from .stackdepth import stack_region
 
 class WCETError(Exception):
     pass
+
+
+#: (image content key, entry) -> (cfgs, entry_by_addr, stack, accesses).
+_FRONTEND_CACHE = {}
+
+#: exact IPET inputs -> IPETResult (the solver is deterministic).
+_IPET_CACHE = {}
+
+COUNTERS = {
+    "frontend_hits": 0,
+    "frontend_misses": 0,
+    "ipet_hits": 0,
+    "ipet_misses": 0,
+}
+
+
+def clear_analysis_caches():
+    """Drop every in-memory analysis cache (frontend, IPET, and the
+    cache-analysis reuse layer) — cold-start measurement helper."""
+    _FRONTEND_CACHE.clear()
+    _IPET_CACHE.clear()
+    cacheanalysis.clear_analysis_caches()
+
+
+def analysis_counters() -> dict:
+    """Merged cache/interning counters (``repro-cc wcet --profile``)."""
+    merged = dict(cacheanalysis.COUNTERS)
+    merged.update(COUNTERS)
+    return merged
+
+
+def _frontend(image: Image, entry: str):
+    """Memoized CFG + stack + access resolution for one image."""
+    key = (image.content_key(), entry)
+    front = _FRONTEND_CACHE.get(key)
+    if front is not None:
+        COUNTERS["frontend_hits"] += 1
+        return front
+    COUNTERS["frontend_misses"] += 1
+    cfgs = build_all_cfgs(image)
+    entry_by_addr = {cfg.entry: name for name, cfg in cfgs.items()}
+    if entry not in cfgs:
+        raise WCETError(f"no function named {entry!r} in the image")
+    stack_rng = stack_region(cfgs, entry, entry_by_addr)
+    data_accesses = resolve_all(image, cfgs, stack_rng)
+    front = (cfgs, entry_by_addr, stack_rng, data_accesses)
+    _FRONTEND_CACHE[key] = front
+    return front
+
+
+def _solve_ipet_cached(image_key, name, cfg, block_costs, edge_extras,
+                       loops, scope_penalties):
+    """Memoized per-function IPET: the CFG and loop bounds are pinned by
+    the image content key, so the exact (costs, extras, penalties)
+    triple determines the ILP and therefore its solution."""
+    key = (image_key, name,
+           tuple(sorted(block_costs.items())),
+           tuple(sorted(edge_extras.items())),
+           tuple(sorted(scope_penalties.items())))
+    result = _IPET_CACHE.get(key)
+    if result is not None:
+        COUNTERS["ipet_hits"] += 1
+        return result
+    COUNTERS["ipet_misses"] += 1
+    result = solve_function_ipet(cfg, block_costs, edge_extras, loops,
+                                 scope_penalties)
+    _IPET_CACHE[key] = result
+    return result
 
 
 @dataclass
@@ -96,21 +173,10 @@ def analyze_wcet(image: Image, config: SystemConfig, entry: str = "_start",
     (the paper's "full aiT" ablation); it has no effect on scratchpad or
     uncached systems.
     """
-    cfgs = build_all_cfgs(image)
-    entry_by_addr = {cfg.entry: name for name, cfg in cfgs.items()}
-    if entry not in cfgs:
-        raise WCETError(f"no function named {entry!r} in the image")
-
-    stack_rng = stack_region(cfgs, entry, entry_by_addr)
-
-    # Resolve every instruction's data access once; the cache analysis
-    # of every level and the cost model all share this map.
-    data_accesses = {}
-    for cfg in cfgs.values():
-        for block in cfg.blocks.values():
-            for addr, instr in block.instrs:
-                data_accesses[addr] = resolve_data_access(
-                    instr, addr, image, stack_rng)
+    # Memoized frontend: CFGs, stack range and every instruction's
+    # resolved data access, shared by all levels and the cost model.
+    cfgs, entry_by_addr, stack_rng, data_accesses = _frontend(image, entry)
+    image_key = image.content_key()
 
     hierarchy_result = None
     cache_result = None
@@ -155,8 +221,8 @@ def analyze_wcet(image: Image, config: SystemConfig, entry: str = "_start",
             header: len(lines) * costs.fetch_miss_penalty(0)
             for header, lines in fm_lines.items()
         }
-        result = solve_function_ipet(cfg, block_costs, edge_extras, loops,
-                                     scope_penalties)
+        result = _solve_ipet_cached(image_key, name, cfg, block_costs,
+                                    edge_extras, loops, scope_penalties)
         per_function[name] = result.wcet
         block_counts[name] = result.block_counts
 

@@ -43,15 +43,39 @@ unclassified L1 misses all the way to main memory.
 :func:`analyze_hierarchy` orchestrates the per-level runs for any
 pipeline a :class:`~repro.memory.hierarchy.SystemConfig` can express —
 unified, instruction-only, split I/D, hybrid SPM+cache, L1+L2.
+
+Two engineering layers sit on top of the abstract domains (see
+``docs/performance.md``):
+
+* the **packed bitset domain** (:class:`PackedCacheDomain`): every cache
+  block one analysis can insert is numbered once, a MUST state becomes
+  ``assoc`` cumulative age masks (word *k* holds the blocks of age <= k)
+  and a MAY state a single possibly-resident mask plus a per-set TOP
+  mask, so transfers and joins are a handful of bulk ``&``/``|``
+  operations and a state's fingerprint is the word tuple itself.  States
+  are hash-consed (interned), so the fixpoint's out-state memoization
+  and join change-detection are pointer comparisons.  The dict-based
+  :class:`MustCache`/:class:`MayCache` remain the executable reference
+  semantics (``CacheAnalysis(domain="dict")``) for differential tests;
+* a **content-addressed analysis reuse cache** keyed by (image content
+  hash, cache config, CAC inputs, ...): :func:`analyze_hierarchy`
+  consults it before running a level's fixpoints, so a sweep point that
+  varies only the SPM capacity or an unrelated level skips every
+  unchanged per-level analysis.  :func:`set_analysis_cache_dir` adds a
+  shared on-disk layer so ``repro-experiments --jobs N`` workers reuse
+  each other's fixpoints, not just their own.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass, field
 
 from ..isa.opcodes import Op
 from ..memory.cache import CacheConfig
-from .accesses import resolve_data_access
+from .accesses import resolve_all, resolve_data_access
 from .cfg import FunctionCFG
 
 
@@ -254,6 +278,306 @@ class MayCache:
 
 
 # --------------------------------------------------------------------------
+# Packed bitset domain
+# --------------------------------------------------------------------------
+#
+# A MUST state over a fixed block universe is a tuple of ``assoc``
+# integers: word ``k`` has bit ``i`` set iff universe block ``i`` is
+# guaranteed resident with LRU age <= k (cumulative encoding).  The
+# cumulative form makes the must-join (intersection with per-block
+# maximum age) a plain pointwise AND.  All transfers are expressed with
+# a per-set mask ``smask`` (the universe bits mapping to the accessed
+# set), so one access costs O(assoc) whole-word operations however many
+# blocks the set holds.  The functions below are the single executable
+# definition shared by the analysis's compiled step programs and the
+# test-facing :class:`PackedCacheDomain` wrapper.
+
+def _must_access(w, assoc, bit, smask):
+    """Definite access: *bit* to age 0, younger set-mates age (+evict)."""
+    if assoc == 1:
+        w[0] = (w[0] & ~smask) | bit
+        return
+    age = assoc
+    for k in range(assoc):
+        if w[k] & bit:
+            age = k
+            break
+    # Set-mates younger than the old age shift up one; words >= the old
+    # age already contain both them and *bit*, so they are untouched
+    # (when absent, "old age" is assoc and the top word shifts too,
+    # evicting the blocks that were at age assoc-1).
+    for k in range((age if age < assoc else assoc) - 1, 0, -1):
+        w[k] = (w[k] & ~smask) | (w[k - 1] & smask) | bit
+    w[0] = (w[0] & ~smask) | bit
+
+
+def _must_uncertain(w, assoc, bit, smask):
+    """CAC-``U`` read: *bit* keeps its age, set-mates age as if accessed."""
+    age = None
+    for k in range(assoc):
+        if w[k] & bit:
+            age = k
+            break
+    if age == 0:
+        return
+    if age is None:  # not guaranteed resident: whole set ages, evicting
+        for k in range(assoc - 1, 0, -1):
+            w[k] = (w[k] & ~smask) | (w[k - 1] & smask)
+        w[0] &= ~smask
+        return
+    # Set-mates younger than *bit*'s (kept) age shift up one; words at
+    # and above that age keep their contents (bit included).
+    for k in range(age - 1, 0, -1):
+        w[k] = (w[k] & ~smask) | (w[k - 1] & smask)
+    w[0] &= ~smask
+
+
+def _must_write(w, assoc, bit, smask):
+    """Write-through store: refresh when resident, else age-no-evict."""
+    if w[assoc - 1] & bit:
+        _must_access(w, assoc, bit, smask)
+        return
+    for k in range(assoc - 2, 0, -1):
+        w[k] = (w[k] & ~smask) | (w[k - 1] & smask)
+    if assoc > 1:
+        w[0] &= ~smask
+
+
+def _must_age(w, assoc, mask, evict):
+    """Unknown access touching the sets in *mask*: age them all."""
+    if evict:
+        for k in range(assoc - 1, 0, -1):
+            w[k] = (w[k] & ~mask) | (w[k - 1] & mask)
+        w[0] &= ~mask
+    else:  # saturate at age assoc-1 (no eviction)
+        for k in range(assoc - 2, 0, -1):
+            w[k] = (w[k] & ~mask) | (w[k - 1] & mask)
+        if assoc > 1:
+            w[0] &= ~mask
+
+
+class PackedCacheDomain:
+    """Bit-packed MUST/MAY domain over a fixed universe of cache blocks.
+
+    The universe is every block an analysis can ever *insert* (fetch
+    targets and resolved read/write targets); blocks outside it can only
+    matter through the MAY domain's per-set TOP sentinel.  MUST states
+    are ``assoc``-tuples of cumulative age masks, MAY states are
+    ``(blocks, top)`` pairs (possibly-resident mask, per-set-index TOP
+    mask).  All operations are pure (states are immutable values),
+    which is what makes hash-consing them sound.
+    """
+
+    def __init__(self, config: CacheConfig, blocks):
+        self.config = config
+        self.assoc = config.assoc
+        self.blocks = tuple(dict.fromkeys(blocks))
+        self.bit = {block: 1 << i for i, block in enumerate(self.blocks)}
+        self.block_of_bit = {1 << i: block
+                             for i, block in enumerate(self.blocks)}
+        num_sets = config.num_sets
+        self.set_mask = [0] * num_sets
+        for block, bit in self.bit.items():
+            self.set_mask[block % num_sets] |= bit
+        self.universe_mask = (1 << len(self.blocks)) - 1
+        self.all_top_mask = (1 << num_sets) - 1
+
+    def _smask(self, block):
+        return self.set_mask[block % self.config.num_sets]
+
+    # -- MUST ----------------------------------------------------------------
+
+    def must_empty(self):
+        return (0,) * self.assoc
+
+    def must_access(self, state, block):
+        w = list(state)
+        _must_access(w, self.assoc, self.bit[block], self._smask(block))
+        return tuple(w)
+
+    def must_access_uncertain(self, state, block):
+        w = list(state)
+        _must_uncertain(w, self.assoc, self.bit[block], self._smask(block))
+        return tuple(w)
+
+    def must_write(self, state, block):
+        w = list(state)
+        _must_write(w, self.assoc, self.bit[block], self._smask(block))
+        return tuple(w)
+
+    def must_age_sets(self, state, indices, evict=True):
+        mask = 0
+        for index in indices:
+            mask |= self.set_mask[index]
+        w = list(state)
+        _must_age(w, self.assoc, mask, evict)
+        return tuple(w)
+
+    def must_age_all(self, state, evict=True):
+        w = list(state)
+        _must_age(w, self.assoc, self.universe_mask, evict)
+        return tuple(w)
+
+    @staticmethod
+    def must_join(a, b):
+        return tuple(x & y for x, y in zip(a, b))
+
+    def must_contains(self, state, block):
+        return bool(state[self.assoc - 1] & self.bit[block])
+
+    def must_decode(self, state) -> MustCache:
+        """Expand a packed MUST state to the reference dict form."""
+        sets = {}
+        num_sets = self.config.num_sets
+        block_of_bit = self.block_of_bit
+        resident = state[self.assoc - 1]
+        while resident:
+            low = resident & -resident
+            resident ^= low
+            age = 0
+            while not state[age] & low:
+                age += 1
+            block = block_of_bit[low]
+            sets.setdefault(block % num_sets, {})[block] = age
+        return MustCache(self.config, sets)
+
+    # -- MAY -----------------------------------------------------------------
+
+    @staticmethod
+    def may_empty():
+        return (0, 0)
+
+    def may_add(self, state, block):
+        return (state[0] | self.bit[block], state[1])
+
+    def may_mark_top(self, state, indices):
+        blocks, top = state
+        for index in indices:
+            top |= 1 << index
+            blocks |= self.set_mask[index]  # canonical completion
+        return (blocks, top)
+
+    def may_mark_all_top(self, state):
+        return (state[0] | self.universe_mask, state[1] | self.all_top_mask)
+
+    @staticmethod
+    def may_join(a, b):
+        return (a[0] | b[0], a[1] | b[1])
+
+    def may_contains(self, state, block):
+        if state[1] >> (block % self.config.num_sets) & 1:
+            return True
+        return bool(state[0] & self.bit[block])
+
+    def may_decode(self, state) -> MayCache:
+        """Expand a packed MAY state to the reference dict form."""
+        blocks, top = state
+        sets = {}
+        num_sets = self.config.num_sets
+        index = 0
+        while top:
+            if top & 1:
+                sets[index] = MAY_TOP
+            top >>= 1
+            index += 1
+        block_of_bit = self.block_of_bit
+        while blocks:
+            low = blocks & -blocks
+            blocks ^= low
+            block = block_of_bit[low]
+            index = block % num_sets
+            if sets.get(index) is MAY_TOP:
+                continue
+            sets.setdefault(index, set()).add(block)
+        return MayCache(self.config, sets)
+
+
+# --------------------------------------------------------------------------
+# Hash-consing and the analysis reuse cache
+# --------------------------------------------------------------------------
+
+#: Process-wide instrumentation (``repro-cc wcet --profile`` prints it).
+COUNTERS = {
+    "intern_hits": 0,
+    "intern_misses": 0,
+    "reuse_hits": 0,
+    "reuse_disk_hits": 0,
+    "reuse_misses": 0,
+}
+
+#: Bump when analysis semantics change: invalidates on-disk reuse entries.
+_CACHE_VERSION = "wcet-bitset-1"
+
+_REUSE_CACHE = {}
+_REUSE_DIR = None
+
+
+def _intern(table, state):
+    """Hash-cons *state*: equal states share one canonical object, so
+    fixpoint change-detection degrades to an ``is`` comparison."""
+    cached = table.get(state)
+    if cached is not None:
+        COUNTERS["intern_hits"] += 1
+        return cached
+    table[state] = state
+    COUNTERS["intern_misses"] += 1
+    return state
+
+
+def set_analysis_cache_dir(path):
+    """Enable (or with None disable) the shared on-disk reuse layer."""
+    global _REUSE_DIR
+    _REUSE_DIR = None if path is None else str(path)
+
+
+def analysis_cache_dir():
+    return _REUSE_DIR
+
+
+def clear_analysis_caches():
+    """Drop every in-memory reuse entry (the disk layer is untouched)."""
+    _REUSE_CACHE.clear()
+
+
+def _reuse_path(key):
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()
+    return os.path.join(_REUSE_DIR, digest + ".pkl")
+
+
+def _reuse_get(key):
+    result = _REUSE_CACHE.get(key)
+    if result is not None:
+        COUNTERS["reuse_hits"] += 1
+        return result
+    if _REUSE_DIR is not None:
+        try:
+            with open(_reuse_path(key), "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, EOFError, pickle.PickleError, AttributeError):
+            result = None
+        if result is not None:
+            _REUSE_CACHE[key] = result
+            COUNTERS["reuse_hits"] += 1
+            COUNTERS["reuse_disk_hits"] += 1
+            return result
+    COUNTERS["reuse_misses"] += 1
+    return None
+
+
+def _reuse_put(key, result):
+    _REUSE_CACHE[key] = result
+    if _REUSE_DIR is not None:
+        path = _reuse_path(key)
+        tmp = f"{path}.tmp{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(result, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: concurrent workers never
+        except OSError:            # observe a half-written entry
+            pass
+
+
+# --------------------------------------------------------------------------
 # Classification results
 # --------------------------------------------------------------------------
 
@@ -320,7 +644,8 @@ class CacheAnalysis:
                  stack_range, entry_name: str, persistence=False, *,
                  serves_fetch=True, serves_data=None, spm_size=0,
                  fetch_cac=None, data_cac=None, always_miss=False,
-                 resolved_accesses=None):
+                 resolved_accesses=None, domain="packed",
+                 intern_tables=None):
         self.image = image
         self.cfgs = cfgs
         self.config = config
@@ -334,6 +659,13 @@ class CacheAnalysis:
         self.spm_size = spm_size
         self.fetch_cac = fetch_cac
         self.data_cac = data_cac
+        if domain not in ("packed", "dict"):
+            raise ValueError(f"unknown abstract domain {domain!r}")
+        self.domain = domain
+        # Hash-consing tables, shareable across the levels of one
+        # hierarchy so identical out-states are one object everywhere.
+        self._intern_must, self._intern_may = (intern_tables
+                                               or ({}, {}))
         self._entry_by_addr = {cfg.entry: name
                                for name, cfg in cfgs.items()}
         # Worklist machinery shared by the MUST and MAY fixpoints.
@@ -369,6 +701,8 @@ class CacheAnalysis:
                 must, may = self._compile_block(block)
                 self._must_progs[(name, baddr)] = must
                 self._may_progs[(name, baddr)] = may
+        if domain == "packed":
+            self._compile_packed()
 
     def _cached_ranges(self, ranges):
         """Clip *ranges* to the part behind the cache (above the SPM)."""
@@ -661,6 +995,322 @@ class CacheAnalysis:
             else:
                 state.mark_all_top()
 
+    # -- packed (bitset) transfer programs -----------------------------------
+
+    def _compile_packed(self):
+        """Translate the logical step lists into packed-bitset programs.
+
+        The block universe is every block the logical programs can
+        insert or probe; aging counts are clamped to ``assoc`` (further
+        repetitions are no-ops on a finite-age domain).  Direct-mapped
+        caches get a dedicated encoding over a *single* integer state:
+        runs of consecutive definite accesses fuse into one
+        clear-mask/set-bits pair, writes vanish (refresh and
+        no-allocate aging are both identities at assoc 1), and
+        no-evict aging saturates to the identity.
+        """
+        universe = []
+        for prog in self._must_progs.values():
+            for step in prog:
+                if step[0] <= 4:
+                    universe.append(step[1])
+        for prog in self._may_progs.values():
+            for step in prog:
+                if step[0] == 0:
+                    universe.append(step[1])
+        domain = self._packed = PackedCacheDomain(self.config, universe)
+        assoc = self.config.assoc
+        num_sets = self.config.num_sets
+        bits = domain.bit
+        set_mask = domain.set_mask
+        full = domain.universe_mask
+        dm = assoc == 1
+        self._packed_must = {}
+        self._packed_may = {}
+        for node, prog in self._must_progs.items():
+            steps = []
+            for step in prog:
+                opcode = step[0]
+                if opcode in (0, 2):   # definite access (idempotent, so
+                    block = step[1]    # the repeat count collapses)
+                    steps.append((0, bits[block],
+                                  set_mask[block % num_sets]))
+                elif opcode in (1, 3):  # uncertain access
+                    block = step[1]
+                    count = min(step[2] if opcode == 3 else 1, assoc)
+                    steps.append((1, bits[block],
+                                  set_mask[block % num_sets], count))
+                elif opcode == 4:       # write-through store
+                    block = step[1]
+                    steps.append((2, bits[block],
+                                  set_mask[block % num_sets]))
+                elif opcode == 5:
+                    _opcode, sets, evict, count = step
+                    mask = 0
+                    for index in sets:
+                        mask |= set_mask[index]
+                    if mask:
+                        steps.append((3, mask, evict, min(count, assoc)))
+                else:
+                    _opcode, evict, count = step
+                    if full:
+                        steps.append((3, full, evict, min(count, assoc)))
+            self._packed_must[node] = (self._fuse_dm(steps) if dm
+                                       else tuple(steps))
+        for node, prog in self._may_progs.items():
+            steps = []
+            pending = 0  # consecutive inserts fuse into one OR mask
+            for step in prog:
+                opcode = step[0]
+                if opcode == 0:
+                    pending |= bits[step[1]]
+                    continue
+                if pending:
+                    steps.append((0, pending))
+                    pending = 0
+                if opcode == 1:
+                    top = blocks = 0
+                    for index in step[1]:
+                        top |= 1 << index
+                        blocks |= set_mask[index]
+                    steps.append((1, top, blocks))
+                else:
+                    steps.append((1, domain.all_top_mask, full))
+            if pending:
+                steps.append((0, pending))
+            self._packed_may[node] = tuple(steps)
+
+    @staticmethod
+    def _fuse_dm(steps):
+        """Re-encode packed MUST steps for a direct-mapped cache.
+
+        State is one integer (the single age-0 word).  Step forms:
+        ``(0, set_bits, keep_mask)`` fused definite-access runs
+        (``w = (w & keep) | set_bits``), ``(1, bit, keep_mask)``
+        uncertain access, ``(3, keep_mask)`` evicting aging.
+        """
+        fused = []
+        clear = setb = 0
+        for step in steps:
+            opcode = step[0]
+            if opcode == 0:
+                _opcode, bit, smask = step
+                setb = (setb & ~smask) | bit
+                clear |= smask
+                continue
+            if clear or setb:
+                fused.append((0, setb, ~clear))
+                clear = setb = 0
+            if opcode == 1:
+                _opcode, bit, smask, _count = step
+                fused.append((1, bit, ~smask))
+            elif opcode == 3:
+                _opcode, mask, evict, _count = step
+                if evict:
+                    fused.append((3, ~mask))
+            # opcode 2 (write): refresh and no-allocate aging are both
+            # identities on a direct-mapped must state -> dropped.
+        if clear or setb:
+            fused.append((0, setb, ~clear))
+        return tuple(fused)
+
+    @staticmethod
+    def _run_must_dm(word, prog):
+        for step in prog:
+            opcode = step[0]
+            if opcode == 0:
+                word = (word & step[2]) | step[1]
+            elif opcode == 1:
+                if not word & step[1]:
+                    word &= step[2]
+            else:
+                word &= step[1]
+        return word
+
+    @staticmethod
+    def _run_must_packed(state, prog, assoc):
+        words = list(state)
+        for step in prog:
+            opcode = step[0]
+            if opcode == 0:
+                _must_access(words, assoc, step[1], step[2])
+            elif opcode == 1:
+                for _ in range(step[3]):
+                    _must_uncertain(words, assoc, step[1], step[2])
+            elif opcode == 2:
+                _must_write(words, assoc, step[1], step[2])
+            else:
+                for _ in range(step[3]):
+                    _must_age(words, assoc, step[1], step[2])
+        return tuple(words)
+
+    @staticmethod
+    def _run_may_packed(state, prog):
+        blocks, top = state
+        for step in prog:
+            if step[0] == 0:
+                blocks |= step[1]
+            else:
+                top |= step[1]
+                blocks |= step[2]
+        return (blocks, top)
+
+    # -- packed classification walks -----------------------------------------
+    #
+    # Mirrors of ``_transfer_block``/``_transfer_block_may`` operating
+    # directly on packed states, so the classification passes need no
+    # decode back to the dict domain.  The differential tests assert
+    # instruction-level equality of the two classification paths.
+
+    def _apply_plan_packed(self, words, plan, addr):
+        if plan is None:
+            return
+        assoc = self.config.assoc
+        domain = self._packed
+        kind = plan[0]
+        if kind == "rblock":
+            cac = self._data_cac_for(addr)
+            if cac == "N":
+                return
+            _kind, block, count = plan
+            bit = domain.bit[block]
+            smask = domain.set_mask[block % self.config.num_sets]
+            if cac == "A":  # idempotent: the repeat count collapses
+                _must_access(words, assoc, bit, smask)
+            else:
+                for _ in range(min(count, assoc)):
+                    _must_uncertain(words, assoc, bit, smask)
+        elif kind == "wblock":
+            block = plan[1]
+            _must_write(words, assoc, domain.bit[block],
+                        domain.set_mask[block % self.config.num_sets])
+        elif kind == "sets":
+            _kind, sets, evict, count = plan
+            if evict and self._data_cac_for(addr) == "N":
+                return
+            mask = 0
+            for index in sets:
+                mask |= domain.set_mask[index]
+            for _ in range(min(count, assoc)):
+                _must_age(words, assoc, mask, evict)
+        else:  # allsets
+            _kind, evict, count = plan
+            if evict and self._data_cac_for(addr) == "N":
+                return
+            for _ in range(min(count, assoc)):
+                _must_age(words, assoc, domain.universe_mask, evict)
+
+    def _transfer_block_packed(self, words, block, classify=None):
+        """Packed mirror of :meth:`_transfer_block` (*words* mutable)."""
+        assoc = self.config.assoc
+        domain = self._packed
+        bits = domain.bit
+        set_mask = domain.set_mask
+        num_sets = self.config.num_sets
+        block_of = self.config.block_of
+        fetch_cac = self.fetch_cac
+        top = assoc - 1
+        for addr, instr in block.instrs:
+            if self.serves_fetch and addr >= self.spm_size:
+                cac = "A" if fetch_cac is None else fetch_cac.get(addr, "U")
+                if cac != "N":
+                    definite = cac == "A"
+                    fetch_block = block_of(addr)
+                    bit = bits[fetch_block]
+                    smask = set_mask[fetch_block % num_sets]
+                    if classify is not None:
+                        classify(addr, "fetch", bool(words[top] & bit))
+                    if definite:
+                        _must_access(words, assoc, bit, smask)
+                    else:
+                        _must_uncertain(words, assoc, bit, smask)
+                    if instr.size == 4:
+                        second = block_of(addr + 2)
+                        if second != fetch_block:
+                            bit = bits[second]
+                            smask = set_mask[second % num_sets]
+                            if classify is not None and \
+                                    not words[top] & bit:
+                                # Both halves must hit for an AH fetch.
+                                classify(addr, "fetch_second", False)
+                            if definite:
+                                _must_access(words, assoc, bit, smask)
+                            else:
+                                _must_uncertain(words, assoc, bit, smask)
+            if self.serves_data:
+                if classify is not None:
+                    needed = self._read_blocks[addr]
+                    if needed is not None:
+                        resident = words[top]
+                        hit = True
+                        for need in needed:
+                            need_bit = bits.get(need)
+                            if need_bit is None or not resident & need_bit:
+                                hit = False
+                                break
+                        classify(addr, "data", hit)
+                self._apply_plan_packed(words, self._plan[addr], addr)
+
+    def _transfer_block_may_packed(self, state, block, classify=None):
+        """Packed mirror of :meth:`_transfer_block_may` (*state* is a
+        mutable ``[blocks, top]`` pair of mask words)."""
+        domain = self._packed
+        bits = domain.bit
+        set_mask = domain.set_mask
+        num_sets = self.config.num_sets
+        block_of = self.config.block_of
+        fetch_cac = self.fetch_cac
+        blocks, top = state
+        for addr, instr in block.instrs:
+            if self.serves_fetch and addr >= self.spm_size:
+                cac = "A" if fetch_cac is None else fetch_cac.get(addr, "U")
+                if cac != "N":
+                    fetch_block = block_of(addr)
+                    second = (block_of(addr + 2) if instr.size == 4
+                              else fetch_block)
+                    if classify is not None and cac == "A":
+                        # Both halves must miss for the next level to be
+                        # definitely accessed on every execution.
+                        miss = not (
+                            top >> (fetch_block % num_sets) & 1
+                            or blocks & bits[fetch_block]
+                            or top >> (second % num_sets) & 1
+                            or blocks & bits[second])
+                        classify(addr, "fetch", miss)
+                    blocks |= bits[fetch_block]
+                    if second != fetch_block:
+                        blocks |= bits[second]
+            if self.serves_data:
+                plan = self._plan[addr]
+                if plan is None:
+                    continue
+                kind = plan[0]
+                if kind == "rblock":
+                    cac = self._data_cac_for(addr)
+                    if cac == "N":
+                        continue
+                    _kind, block_num, count = plan
+                    if classify is not None and cac == "A" and count == 1:
+                        miss = not (top >> (block_num % num_sets) & 1
+                                    or blocks & bits[block_num])
+                        classify(addr, "data", miss)
+                    blocks |= bits[block_num]
+                elif kind == "wblock":
+                    pass  # write-through, no allocate: never inserts
+                elif kind == "sets":
+                    _kind, sets, evict, _count = plan
+                    if evict and self._data_cac_for(addr) != "N":
+                        for index in sets:
+                            top |= 1 << index
+                            blocks |= set_mask[index]
+                else:  # allsets
+                    _kind, evict, _count = plan
+                    if evict and self._data_cac_for(addr) != "N":
+                        top |= domain.all_top_mask
+                        blocks |= domain.universe_mask
+        state[0] = blocks
+        state[1] = top
+
     # -- fixpoint ---------------------------------------------------------------
 
     def _interproc_succs(self):
@@ -766,18 +1416,124 @@ class CacheAnalysis:
                     heapq.heappush(heap, (rpo.get(succ, fallback), succ))
         return in_states
 
-    def _classify_pass(self, in_states, transfer, classify):
+    def _fixpoint_packed(self, entry_state, run_prog, progs, join):
+        """RPO worklist fixpoint over interned immutable states.
+
+        Same shape as :meth:`_fixpoint`, but states are hash-consed
+        integer words: the out-state memo and the join change test are
+        both pointer (``is``) comparisons, and an unchanged join costs
+        one AND/OR pass plus a dict probe instead of a deep dict walk.
+        """
+        import heapq
+
+        cfgs = self.cfgs
+        entry = (self.entry_name, cfgs[self.entry_name].entry)
+        in_states = {entry: entry_state}
+        succs = self._succs_cached()
+        rpo = self._rpo()
+        fallback = len(rpo)
+
+        heap = [(rpo.get(entry, fallback), entry)]
+        pending = {entry}
+        out_memo = {}
+        iterations = 0
+        limit = 400 * sum(len(c.blocks) for c in cfgs.values()) + 10_000
+        while heap:
+            iterations += 1
+            if iterations > limit:
+                raise RuntimeError("cache fixpoint failed to converge")
+            _, node = heapq.heappop(heap)
+            pending.discard(node)
+            out = run_prog(in_states[node], progs[node])
+            if out_memo.get(node) is out:
+                continue  # same interned out-state: nothing to push
+            out_memo[node] = out
+            for succ in succs.get(node, ()):
+                current = in_states.get(succ)
+                if current is None:
+                    in_states[succ] = out
+                else:
+                    joined = join(current, out)
+                    if joined is current:
+                        continue
+                    in_states[succ] = joined
+                if succ not in pending:
+                    pending.add(succ)
+                    heapq.heappush(heap, (rpo.get(succ, fallback), succ))
+        return in_states
+
+    def _must_fixpoint_packed(self):
+        table = self._intern_must
+        if self.config.assoc == 1:
+            run_dm = self._run_must_dm
+
+            def run_prog(state, prog):
+                return _intern(table, run_dm(state, prog))
+
+            def join(a, b):
+                if a is b:
+                    return a
+                return _intern(table, a & b)
+
+            entry_state = _intern(table, 0)
+        else:
+            run_packed = self._run_must_packed
+            assoc = self.config.assoc
+
+            def run_prog(state, prog):
+                return _intern(table, run_packed(state, prog, assoc))
+
+            def join(a, b):
+                if a is b:
+                    return a
+                return _intern(table, tuple(x & y for x, y in zip(a, b)))
+
+            entry_state = _intern(table, (0,) * assoc)
+        return self._fixpoint_packed(entry_state, run_prog,
+                                     self._packed_must, join)
+
+    def _may_fixpoint_packed(self):
+        table = self._intern_may
+        run_may = self._run_may_packed
+
+        def run_prog(state, prog):
+            return _intern(table, run_may(state, prog))
+
+        def join(a, b):
+            if a is b:
+                return a
+            return _intern(table, (a[0] | b[0], a[1] | b[1]))
+
+        entry_state = _intern(table, (0, 0))
+        return self._fixpoint_packed(entry_state, run_prog,
+                                     self._packed_may, join)
+
+    def _classify_pass(self, in_states, transfer, classify, prepare=None):
         for name, cfg in self.cfgs.items():
             for baddr, block in cfg.blocks.items():
                 node = (name, baddr)
                 if node not in in_states:
                     continue  # unreachable
-                state = in_states[node].copy()
+                state = in_states[node]
+                state = state.copy() if prepare is None else prepare(state)
                 transfer(state, block, classify=classify)
 
     def run(self) -> CacheAnalysisResult:
-        in_states = self._fixpoint(MustCache(self.config),
-                                   self._run_must_prog, self._must_progs)
+        packed = self.domain == "packed"
+        if packed:
+            in_states = self._must_fixpoint_packed()
+            must_transfer = self._transfer_block_packed
+            if self.config.assoc == 1:
+                def must_prepare(word):
+                    return [word]
+            else:
+                must_prepare = list
+        else:
+            in_states = self._fixpoint(MustCache(self.config),
+                                       self._run_must_prog,
+                                       self._must_progs)
+            must_transfer = self._transfer_block
+            must_prepare = None
 
         # Classification pass.
         result = CacheAnalysisResult(config=self.config)
@@ -792,11 +1548,20 @@ class CacheAnalysis:
             else:
                 entry.data = AH if hit else NC
 
-        self._classify_pass(in_states, self._transfer_block, classify)
+        self._classify_pass(in_states, must_transfer, classify,
+                            prepare=must_prepare)
 
         if self.always_miss:
-            may_states = self._fixpoint(MayCache(self.config),
-                                        self._run_may_prog, self._may_progs)
+            if packed:
+                may_states = self._may_fixpoint_packed()
+                may_transfer = self._transfer_block_may_packed
+                may_prepare = list
+            else:
+                may_states = self._fixpoint(MayCache(self.config),
+                                            self._run_may_prog,
+                                            self._may_progs)
+                may_transfer = self._transfer_block_may
+                may_prepare = None
 
             def classify_am(addr, what, miss):
                 entry = classes.setdefault(addr, AccessClass())
@@ -805,8 +1570,8 @@ class CacheAnalysis:
                 else:
                     entry.data_always_miss = miss
 
-            self._classify_pass(may_states, self._transfer_block_may,
-                                classify_am)
+            self._classify_pass(may_states, may_transfer, classify_am,
+                                prepare=may_prepare)
 
         if self.persistence:
             self._apply_persistence(result)
@@ -956,9 +1721,13 @@ def _chain_cac(prev_cac, result, addrs, what):
     return nxt
 
 
+def _cac_fingerprint(cac):
+    return None if cac is None else tuple(sorted(cac.items()))
+
+
 def analyze_hierarchy(image, cfgs, config, stack_range, entry_name,
-                      persistence=False,
-                      resolved_accesses=None) -> HierarchyCacheResult:
+                      persistence=False, resolved_accesses=None,
+                      domain="packed", reuse=True) -> HierarchyCacheResult:
     """Classify every cache level of *config*'s pipeline, outermost first.
 
     *config* is a :class:`~repro.memory.hierarchy.SystemConfig`.  Each
@@ -968,20 +1737,49 @@ def analyze_hierarchy(image, cfgs, config, stack_range, entry_name,
     is computed here when not supplied and shared by every level's
     analysis, so address resolution runs once per image rather than
     once per cache level.
+
+    With *reuse* (the default) each per-level run goes through the
+    content-addressed reuse cache: the key is the image's content hash
+    plus everything else a level's result depends on (its cache config,
+    the CAC maps chained from the level above, the SPM clip, the served
+    sides, persistence/always-miss, the abstract *domain*), so a sweep
+    point that changes only an unrelated level — or a repeat of the
+    same point in another worker process, via the shared disk layer —
+    skips the fixpoints entirely.
     """
     spm_size = config.spm_size
     specs = config.cache_level_specs
     if resolved_accesses is None:
-        resolved_accesses = {}
-        for cfg in cfgs.values():
-            for block in cfg.blocks.values():
-                for addr, instr in block.instrs:
-                    resolved_accesses[addr] = resolve_data_access(
-                        instr, addr, image, stack_range)
+        resolved_accesses = resolve_all(image, cfgs, stack_range)
+    image_key = image.content_key() if reuse else None
+    intern_tables = ({}, {})
+
+    def run_level(cache_config, *, outermost, chained, serves_fetch,
+                  serves_data, fetch_cac=None, data_cac=None):
+        use_persistence = persistence and outermost
+        if image_key is not None:
+            key = (_CACHE_VERSION, domain, image_key, cache_config,
+                   stack_range, entry_name, spm_size, use_persistence,
+                   chained, serves_fetch, serves_data,
+                   _cac_fingerprint(fetch_cac), _cac_fingerprint(data_cac))
+            cached = _reuse_get(key)
+            if cached is not None:
+                return cached
+        result = CacheAnalysis(
+            image, cfgs, cache_config, stack_range, entry_name,
+            persistence=use_persistence, serves_fetch=serves_fetch,
+            serves_data=serves_data, spm_size=spm_size,
+            fetch_cac=fetch_cac, data_cac=data_cac, always_miss=chained,
+            resolved_accesses=resolved_accesses, domain=domain,
+            intern_tables=intern_tables).run()
+        if image_key is not None:
+            _reuse_put(key, result)
+        return result
+
     fetch_cac = None
     data_cac = None
     out = HierarchyCacheResult()
-    addrs = None
+    addrs = list(resolved_accesses)
     for depth, level in enumerate(specs):
         outermost = depth == 0
         # Always-miss (MAY) facts are only needed to seed the CAC of a
@@ -989,35 +1787,21 @@ def analyze_hierarchy(image, cfgs, config, stack_range, entry_name,
         chained = depth + 1 < len(specs)
         iresult = dresult = None
         if level.shared:
-            analysis = CacheAnalysis(
-                image, cfgs, level.icache, stack_range, entry_name,
-                persistence=persistence and outermost,
-                serves_fetch=True, serves_data=True, spm_size=spm_size,
-                fetch_cac=fetch_cac, data_cac=data_cac,
-                always_miss=chained,
-                resolved_accesses=resolved_accesses)
-            iresult = dresult = analysis.run()
-            addrs = addrs or list(analysis.all_addrs())
+            iresult = dresult = run_level(
+                level.icache, outermost=outermost, chained=chained,
+                serves_fetch=True, serves_data=True,
+                fetch_cac=fetch_cac, data_cac=data_cac)
         else:
             if level.icache is not None:
-                analysis = CacheAnalysis(
-                    image, cfgs, level.icache, stack_range, entry_name,
-                    persistence=persistence and outermost,
+                iresult = run_level(
+                    level.icache, outermost=outermost, chained=chained,
                     serves_fetch=True, serves_data=False,
-                    spm_size=spm_size, fetch_cac=fetch_cac,
-                    always_miss=chained,
-                    resolved_accesses=resolved_accesses)
-                iresult = analysis.run()
-                addrs = addrs or list(analysis.all_addrs())
+                    fetch_cac=fetch_cac)
             if level.dcache is not None:
-                analysis = CacheAnalysis(
-                    image, cfgs, level.dcache, stack_range, entry_name,
+                dresult = run_level(
+                    level.dcache, outermost=False, chained=chained,
                     serves_fetch=False, serves_data=True,
-                    spm_size=spm_size, data_cac=data_cac,
-                    always_miss=chained,
-                    resolved_accesses=resolved_accesses)
-                dresult = analysis.run()
-                addrs = addrs or list(analysis.all_addrs())
+                    data_cac=data_cac)
         out.levels.append(LevelClassification(
             level=level, iresult=iresult, dresult=dresult))
         if iresult is not None:

@@ -71,6 +71,13 @@ class CostModel:
                        if fetch_levels else [])
         self._data_levels = (cache_result.data_results()
                              if data_levels else [])
+        # Raw per-level classification dicts: the per-instruction cost
+        # loop probes these thousands of times, so skip the accessor
+        # methods and their AccessClass default handling.
+        self._fetch_classes = [result.classes
+                               for _level, result in self._fetch]
+        self._data_classes = [result.classes
+                              for _level, result in self._data_levels]
         self._fetch_serve = serve_costs(
             path_geometry(fetch_levels, "i"), self.timing)
         self._data_serve = serve_costs(
@@ -97,16 +104,18 @@ class CostModel:
     def _fetch_miss_cost(self, addr: int) -> int:
         """Cycles of an outer-level fetch miss: fills down to the first
         level whose MUST analysis guarantees the line, else main."""
-        for idx in range(1, len(self._fetch)):
-            if self._fetch[idx][1].fetch_class(addr) == AH:
+        for idx in range(1, len(self._fetch_classes)):
+            entry = self._fetch_classes[idx].get(addr)
+            if entry is not None and entry.fetch == AH:
                 return self._fetch_serve[idx]
-        return self._fetch_serve[len(self._fetch)]
+        return self._fetch_serve[len(self._fetch_classes)]
 
     def _data_miss_cost(self, addr: int) -> int:
-        for idx in range(1, len(self._data_levels)):
-            if self._data_levels[idx][1].data_class(addr) == AH:
+        for idx in range(1, len(self._data_classes)):
+            entry = self._data_classes[idx].get(addr)
+            if entry is not None and entry.data == AH:
                 return self._data_serve[idx]
-        return self._data_serve[len(self._data_levels)]
+        return self._data_serve[len(self._data_classes)]
 
     # -- fetch ---------------------------------------------------------------
 
@@ -116,8 +125,9 @@ class CostModel:
             return halves * self.timing.cycles(RegionKind.SPM, 2)
         if not self._fetch:
             return halves * self.timing.cycles(RegionKind.MAIN, 2)
-        level, result = self._fetch[0]
-        fetch_class = result.fetch_class(addr)
+        level, _result = self._fetch[0]
+        entry = self._fetch_classes[0].get(addr)
+        fetch_class = entry.fetch if entry is not None else None
         if fetch_class in (AH, FM):
             # FM is charged as a hit here; the per-scope penalty is added
             # by the IPET builder on the loop's entry edges.
@@ -152,9 +162,10 @@ class CostModel:
             if access.unknown:
                 worst = self.timing.cycles(RegionKind.MAIN, access.width)
             return worst * access.count
-        if access.count == 1 and \
-                self._data_levels[0][1].data_class(addr) == AH:
-            return self._data_levels[0][0].hit_cycles
+        if access.count == 1:
+            entry = self._data_classes[0].get(addr)
+            if entry is not None and entry.data == AH:
+                return self._data_levels[0][0].hit_cycles
         return self._data_miss_cost(addr) * access.count
 
     def _write_cost(self, access: DataAccess) -> int:

@@ -100,6 +100,19 @@ class Workflow:
             self._profile = build_profile(self.baseline_image(), result)
         return self._profile
 
+    def warm(self, profile: bool = False) -> "Workflow":
+        """Precompute the shared steps every evaluation point needs.
+
+        Links the baseline executable (and, for scratchpad/hybrid
+        sweeps, runs the typical-input profile) so sweep workers — or a
+        process about to fork them — pay the one-off costs exactly once
+        instead of once per task.
+        """
+        self.baseline_image()
+        if profile:
+            self.profile()
+        return self
+
     # -- left branch: scratchpad ---------------------------------------------------
 
     def allocate(self, spm_size: int, method: str = "energy",

@@ -47,3 +47,26 @@ def test_wcet_report_anchors():
     for label, entry in report.items():
         assert entry["wcet_cycles"] == committed[label]["wcet_cycles"]
         assert entry["seconds"] > 0
+        # The cold round can never beat the reuse-cache-warm best.
+        assert entry["cold_seconds"] >= entry["seconds"]
+
+
+def test_wcet_points_cover_all_shapes_and_benchmarks():
+    labels = {label for label, _bench, _config in bench_suite.WCET_POINTS}
+    assert len(labels) == 12
+    for bench in ("g721", "adpcm", "multisort"):
+        for shape in ("uncached", "l1-256", "l1+l2", "split-i/d"):
+            assert f"{bench}/{shape}" in labels
+
+
+def test_experiments_baseline_matches_runner():
+    from repro.experiments.runner import EXPERIMENTS
+
+    committed = json.loads(
+        (_BENCH_DIR / "BENCH_experiments.json").read_text())
+    assert set(committed) == set(EXPERIMENTS) | {"total"}
+    for entry in committed.values():
+        # Individual experiments may round to 0.00 s (fig4 reuses
+        # fig3's cached points entirely), but never go negative.
+        assert entry["seconds"] >= 0
+    assert committed["total"]["seconds"] > 0
