@@ -4,7 +4,10 @@ Subcommands (all take a mini-C source file):
 
 * ``run``        — compile, link, simulate; print cycles and console
   (``--record-misses`` switches to the recording engine and reports the
-  hottest fetch-miss addresses)
+  hottest fetch-miss addresses; ``--engine replay`` records the access
+  trace once and re-prices it, bit-identical to ``--engine execute``)
+* ``trace``      — record the dynamic access trace and summarise it
+  (``--profile`` dumps the trace-cache and replay counters)
 * ``wcet``       — static WCET analysis; print the per-function report
 * ``compare``    — the paper's experiment on one program: sim vs. WCET
 * ``map``        — placement map (the linker's view)
@@ -150,8 +153,17 @@ def _build(args):
 def cmd_run(args):
     image, config = _build(args)
     # Plain runs take the compiled fast engine; --record-misses opts
-    # into the recording engine, which tracks misses per address.
-    result = simulate(image, config, record_misses=args.record_misses)
+    # into the recording engine, which tracks misses per address;
+    # --engine replay records the access trace and re-prices it.
+    if args.engine == "replay":
+        if args.record_misses:
+            raise SystemExit("--record-misses needs the recording "
+                             "engine; drop --engine replay")
+        from .sim.replay import replay
+        from .sim.trace import trace_for
+        result = replay(trace_for(image, config.spm_size), config)
+    else:
+        result = simulate(image, config, record_misses=args.record_misses)
     for line in result.console:
         print(line)
     print(f"# {config.describe()}")
@@ -175,6 +187,25 @@ def cmd_run(args):
         print("# hottest fetch-miss addresses:")
         for addr, count in worst:
             print(f"#   {addr:#010x}  {count} misses")
+    return 0
+
+
+def cmd_trace(args):
+    image, config = _build(args)
+    from .sim.trace import trace_counters, trace_for
+    trace = trace_for(image, config.spm_size)
+    fetches, reads, writes = trace.counts_by_kind()
+    print(f"# {config.describe()}")
+    print(f"# accesses:     {trace.accesses} ({fetches} fetches, "
+          f"{reads} reads, {writes} writes)")
+    print(f"# spm-resident: {sum(trace.spm_counts)}")
+    print(f"# base cycles:  {trace.base_cycles}")
+    print(f"# instructions: {trace.instructions}")
+    print(f"# exit code:    {trace.exit_code}")
+    if args.profile:
+        print("# trace counters:")
+        for key, value in sorted(trace_counters().items()):
+            print(f"#   {key:16} {value:>8}")
     return 0
 
 
@@ -252,6 +283,7 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     for name, func, needs_persistence in (
             ("run", cmd_run, False),
+            ("trace", cmd_trace, False),
             ("wcet", cmd_wcet, True),
             ("compare", cmd_compare, True),
             ("map", cmd_map, False),
@@ -268,6 +300,16 @@ def main(argv=None) -> int:
                 "--record-misses", action="store_true",
                 help="use the recording engine and report the hottest "
                      "fetch-miss addresses")
+            command.add_argument(
+                "--engine", choices=("execute", "replay"),
+                default="execute",
+                help="execute the program, or record its access trace "
+                     "and replay it (bit-identical results)")
+        if name == "trace":
+            command.add_argument(
+                "--profile", action="store_true",
+                help="print trace-cache and replay counters after "
+                     "the dump")
         if name == "wcet":
             command.add_argument(
                 "--profile", action="store_true",

@@ -12,16 +12,27 @@ order (the default) or fans them across ``set_jobs(N)`` worker processes
 (``repro-experiments --jobs N``).  Results always come back in task
 order and every point's computation is deterministic, so the merged
 artefacts are identical whichever way they were produced.
+
+Before anything runs, a **sweep-aware planner** (:func:`plan_units`)
+rewrites the task list: all cache tasks of one benchmark collapse into
+a single batched unit served by :meth:`~repro.workflow.Workflow.
+cache_points`, which replays the benchmark's recorded trace instead of
+re-executing it per configuration and evaluates same-geometry size
+sweeps in one stack-distance pass.  Workers additionally share an
+on-disk trace cache next to the PR-4 analysis reuse cache, so a trace
+recorded by one process is loaded, not re-executed, by every other.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import shutil
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 
 from ..benchmarks import get as get_benchmark
+from ..sim.trace import set_trace_cache_dir
 from ..wcet.cacheanalysis import set_analysis_cache_dir
 from ..workflow import PAPER_SIZES, Workflow
 
@@ -84,13 +95,15 @@ def _init_worker(bench_keys, profile_keys, cache_dir):
     fork platforms, where the parent's warmed cache is inherited; a
     one-off compile+profile on spawn platforms, instead of redoing it
     lazily per benchmark mid-sweep) and joins the run's shared on-disk
-    analysis reuse cache so workers reuse each other's per-level
-    cache-analysis fixpoints.
+    reuse caches: per-level cache-analysis fixpoints and recorded
+    execution traces computed by one worker are loaded, not recomputed,
+    by every other worker that needs them.
     """
     global _JOBS
     _JOBS = 1  # workers never nest their own pools
     if cache_dir:
-        set_analysis_cache_dir(cache_dir)
+        set_analysis_cache_dir(os.path.join(cache_dir, "analysis"))
+        set_trace_cache_dir(os.path.join(cache_dir, "traces"))
     for key in bench_keys:
         workflow_for(key).warm(profile=key in profile_keys)
 
@@ -117,20 +130,69 @@ def _evaluate_task(task):
     raise ValueError(f"unknown evaluation task kind {kind!r}")
 
 
+def plan_units(tasks):
+    """Rewrite a task list into execution units for :func:`_run_unit`.
+
+    Cache tasks of one benchmark — however they interleave with other
+    kinds — become a single batched unit, so the benchmark's recorded
+    trace is replayed (and same-geometry size sweeps collapse into one
+    single-pass replay) instead of the executable re-executing per
+    configuration.  Everything else stays a unit of its own.  Each unit
+    carries the task indices it produces, so results land back in task
+    order no matter how units are scheduled.
+    """
+    units = []
+    batches = {}  # bench -> unit position in `units`
+    for index, task in enumerate(tasks):
+        bench, kind, params = task
+        if kind != "cache":
+            units.append(((index,), task))
+            continue
+        position = batches.get(bench)
+        if position is None:
+            batches[bench] = len(units)
+            units.append(((index,), (bench, "cache_batch", (params,))))
+        else:
+            indices, (_, _, specs) = units[position]
+            units[position] = (indices + (index,),
+                               (bench, "cache_batch", specs + (params,)))
+    return units
+
+
+def _run_unit(unit):
+    """Evaluate one planned unit; returns points in intra-unit order."""
+    indices, task = unit
+    bench, kind, params = task
+    if kind == "cache_batch":
+        return workflow_for(bench).cache_points(params)
+    return [_evaluate_task(task)]
+
+
 def evaluate_points(tasks):
     """Evaluate task tuples; returns points in task order.
 
-    With one job this is a plain in-order loop sharing the process-wide
-    workflow cache (bit-for-bit the old serial behaviour).  With more,
-    tasks fan out over a process pool; ``Executor.map`` preserves input
-    order, so the merge is deterministic.  On fork platforms the parent
-    warms each benchmark's compile (and profile, when a scratchpad task
-    needs it) first, so workers inherit the expensive steps instead of
+    Tasks are first rewritten by the sweep-aware planner
+    (:func:`plan_units`).  With one job the units run serially in plan
+    order, sharing the process-wide workflow cache.  With more, units
+    fan out over a process pool; ``Executor.map`` preserves input order
+    and every unit's computation is deterministic, so the merge is
+    bit-for-bit the serial result.  On fork platforms the parent warms
+    each benchmark's compile (and profile, when a scratchpad task needs
+    it) first, so workers inherit the expensive steps instead of
     redoing them.
     """
     tasks = list(tasks)
-    if _JOBS <= 1 or len(tasks) <= 1:
-        return [_evaluate_task(task) for task in tasks]
+    units = plan_units(tasks)
+    results = [None] * len(tasks)
+
+    def merge(unit, points):
+        for index, point in zip(unit[0], points):
+            results[index] = point
+
+    if _JOBS <= 1 or len(units) <= 1:
+        for unit in units:
+            merge(unit, _run_unit(unit))
+        return results
     bench_keys = tuple(dict.fromkeys(t[0] for t in tasks))
     needs_profile = frozenset(
         t[0] for t in tasks if t[1] in ("spm", "hybrid"))
@@ -140,17 +202,21 @@ def evaluate_points(tasks):
         context = multiprocessing.get_context("fork")
     except ValueError:  # platform without fork: the initializer rebuilds
         context = multiprocessing.get_context()
-    workers = min(_JOBS, len(tasks))
-    # Shared scratch directory for the content-addressed analysis reuse
-    # cache: a per-level fixpoint computed by one worker is loaded, not
-    # recomputed, by every other worker that needs the same analysis.
-    cache_dir = tempfile.mkdtemp(prefix="repro-analysis-")
+    workers = min(_JOBS, len(units))
+    # Shared scratch directory for the content-addressed reuse caches
+    # (analysis fixpoints + recorded traces): what one worker computes,
+    # every other worker loads.
+    cache_dir = tempfile.mkdtemp(prefix="repro-reuse-")
+    os.makedirs(os.path.join(cache_dir, "analysis"))
+    os.makedirs(os.path.join(cache_dir, "traces"))
     try:
         with ProcessPoolExecutor(
                 max_workers=workers, mp_context=context,
                 initializer=_init_worker,
                 initargs=(bench_keys, needs_profile, cache_dir)) as pool:
-            return list(pool.map(_evaluate_task, tasks))
+            for unit, points in zip(units, pool.map(_run_unit, units)):
+                merge(unit, points)
+        return results
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 

@@ -1,9 +1,31 @@
-"""Instruction-set simulation (the ARMulator role in the paper's Figure 1)."""
+"""Instruction-set simulation (the ARMulator role in the paper's Figure 1).
+
+Two complementary paths produce bit-identical results:
+
+* **execute** — the compiled flat-array engine (:mod:`repro.sim.engine`)
+  runs the program under one memory configuration;
+* **replay** — the engine records the config-independent access trace
+  once per image (:mod:`repro.sim.trace`) and the replay kernels
+  (:mod:`repro.sim.replay`) re-price it under any number of
+  configurations, including whole size sweeps in a single pass.
+"""
 
 from .simulator import MemoryFault, SimError, SimResult, Simulator, simulate
 from .profile import ObjectProfile, ProgramProfile, build_profile
+from .replay import replay, replay_sweep, sweep_geometry
+from .trace import (
+    Trace,
+    clear_trace_caches,
+    record_trace,
+    set_trace_cache_dir,
+    trace_counters,
+    trace_for,
+)
 
 __all__ = [
     "MemoryFault", "SimError", "SimResult", "Simulator", "simulate",
     "ObjectProfile", "ProgramProfile", "build_profile",
+    "replay", "replay_sweep", "sweep_geometry",
+    "Trace", "clear_trace_caches", "record_trace", "set_trace_cache_dir",
+    "trace_counters", "trace_for",
 ]

@@ -1,0 +1,369 @@
+"""Trace replay kernels: re-price a recorded stream under any config.
+
+Given a :class:`~repro.sim.trace.Trace` (the image's dynamic access
+stream, recorded once by the execution engine) and a compatible
+:class:`~repro.memory.hierarchy.SystemConfig`, :func:`replay` produces a
+:class:`~repro.sim.simulator.SimResult` bit-identical to re-executing
+the program on that config — same cycles, instruction count, console,
+exit code, and per-level hit/miss statistics — without touching
+registers, RAM or step closures.  Replay only walks tag arrays, and
+only for the accesses that can actually change state:
+
+* SPM-resident accesses and data writes have config-fixed costs
+  (write-through stores pay main memory regardless of hit/miss), so
+  they are priced from the trace's aggregate per-tag counts in O(1) —
+  writes are walked only when a data-path cache needs their LRU
+  refresh/statistics;
+* on fetch-only pipelines (instruction caches) the data stream is
+  skipped entirely;
+* pipelines with no caches at all reduce to pure arithmetic.
+
+:func:`replay_sweep` goes further for the paper's bread-and-butter
+sweep: same-geometry direct-mapped LRU caches of different sizes
+(``cache_sweep``, figs. 3-6, the cache-config ablation).  For LRU the
+set contents of a cache are exactly the most recently used blocks
+mapping to each set — Mattson et al.'s stack property, which for the
+direct-mapped case degenerates to "resident iff most recent allocation
+in the set".  One pass over the trace therefore evaluates *every* size
+at once: per access, each candidate size checks/updates one last-block
+cell, and a most-recent-block shortcut skips the (dominant) runs of
+consecutive same-line accesses that hit at every size.  Writes never
+allocate, so the shared recency state stays exact across all sizes.
+"""
+
+from __future__ import annotations
+
+from ..memory.cache import ReplacementPolicy
+from ..memory.hierarchy import MemoryHierarchy, SystemConfig
+from ..sim.simulator import SimResult, SimError
+from .trace import COUNTERS, TAG_WIDTH, Trace
+
+
+def _check_budget(trace: Trace, max_steps: int):
+    if trace.instructions > max_steps:
+        # The engine would have given up mid-run; replays agree.
+        raise SimError(f"exceeded {max_steps} steps (runaway program?)")
+
+
+def _check_spm(trace: Trace, config: SystemConfig):
+    if config.spm_size != trace.spm_size:
+        raise ValueError(
+            f"trace was recorded with a {trace.spm_size}-byte SPM split; "
+            f"config {config.name!r} has {config.spm_size} bytes — "
+            "re-record against the matching image")
+
+
+def _fixed_cycles(trace: Trace, hierarchy: MemoryHierarchy,
+                  fetches_fixed: bool, reads_fixed: bool) -> int:
+    """Cycles of every access whose cost the config pins up front.
+
+    Always: SPM-resident accesses and the write-through store costs.
+    Additionally the whole fetch (data-read) stream when no cache sits
+    on that path, where each access pays plain main-memory cost.
+    """
+    spm_out = hierarchy._spm_out
+    main_out = hierarchy._main_out
+    total = 0
+    for tag, count in enumerate(trace.spm_counts):
+        if count:
+            total += count * spm_out[TAG_WIDTH[tag]].cycles
+    counts = trace.op_counts
+    for tag in (4, 5, 6):  # writes: main cost at any depth
+        if counts[tag]:
+            total += counts[tag] * main_out[TAG_WIDTH[tag]].cycles
+    if fetches_fixed and counts[0]:
+        total += counts[0] * main_out[2].cycles
+    if reads_fixed:
+        for tag in (1, 2, 3):
+            if counts[tag]:
+                total += counts[tag] * main_out[TAG_WIDTH[tag]].cycles
+    return total
+
+
+def _result(trace: Trace, hierarchy: MemoryHierarchy,
+            cycles: int) -> SimResult:
+    hierarchy.flush_fast_stats()
+    return SimResult(
+        cycles=cycles,
+        instructions=trace.instructions,
+        exit_code=trace.exit_code,
+        console=list(trace.console),
+        cache_stats=hierarchy.cache_stats,
+        level_stats=hierarchy.level_stats,
+    )
+
+
+def replay(trace: Trace, config: SystemConfig,
+           max_steps: int = 50_000_000) -> SimResult:
+    """Re-price *trace* under *config*; bit-identical to execution."""
+    _check_budget(trace, max_steps)
+    _check_spm(trace, config)
+    hierarchy = MemoryHierarchy(config)
+    fchain = hierarchy._fetch_chain
+    dchain = hierarchy._data_chain
+    cycles = trace.base_cycles + _fixed_cycles(
+        trace, hierarchy, fetches_fixed=not fchain,
+        reads_fixed=not dchain)
+    if fchain == dchain and len(fchain) == 1 \
+            and fchain[0].config.assoc == 1:
+        cycles += _walk_unified_dm(trace, hierarchy)
+    elif len(fchain) == 1 and not dchain \
+            and fchain[0].config.assoc == 1:
+        cycles += _walk_fetch_dm(trace, hierarchy)
+    elif fchain or dchain:
+        cycles += _walk_generic(trace, hierarchy)
+    COUNTERS["replay_runs"] += 1
+    return _result(trace, hierarchy, cycles)
+
+
+def _walk_unified_dm(trace: Trace, hierarchy: MemoryHierarchy) -> int:
+    """One shared direct-mapped cache on both paths (the paper's shape)."""
+    cache = hierarchy._fetch_chain[0]
+    sets = cache.sets
+    counts = cache.fast_counts
+    line = cache.config.line_size
+    nsets = cache.config.num_sets
+    f_hit, f_miss = (out.cycles for out in hierarchy._fetch_out)
+    r_hit, r_miss = (out.cycles for out in hierarchy._data_out)
+    cycles = 0
+    for value in trace.ops:
+        tag = value & 7
+        block = (value >> 3) // line
+        ways = sets[block % nsets]
+        if tag == 0:
+            if ways and ways[0] == block:
+                counts[0] += 1
+                cycles += f_hit
+            else:
+                if ways:
+                    ways[0] = block
+                else:
+                    ways.append(block)
+                counts[1] += 1
+                cycles += f_miss
+        elif tag < 4:
+            if ways and ways[0] == block:
+                counts[2] += 1
+                cycles += r_hit
+            else:
+                if ways:
+                    ways[0] = block
+                else:
+                    ways.append(block)
+                counts[3] += 1
+                cycles += r_miss
+        else:  # write-through, no allocate: stats only
+            if ways and ways[0] == block:
+                counts[4] += 1
+            else:
+                counts[5] += 1
+    return cycles
+
+
+def _walk_fetch_dm(trace: Trace, hierarchy: MemoryHierarchy) -> int:
+    """A single direct-mapped instruction cache; data bypasses."""
+    cache = hierarchy._fetch_chain[0]
+    sets = cache.sets
+    counts = cache.fast_counts
+    line = cache.config.line_size
+    nsets = cache.config.num_sets
+    f_hit, f_miss = (out.cycles for out in hierarchy._fetch_out)
+    cycles = 0
+    for value in trace.ops:
+        if value & 7:
+            continue
+        block = (value >> 3) // line
+        ways = sets[block % nsets]
+        if ways and ways[0] == block:
+            counts[0] += 1
+            cycles += f_hit
+        else:
+            if ways:
+                ways[0] = block
+            else:
+                ways.append(block)
+            counts[1] += 1
+            cycles += f_miss
+    return cycles
+
+
+def _walk_generic(trace: Trace, hierarchy: MemoryHierarchy) -> int:
+    """Any level pipeline: per-level touch closures, outermost-in."""
+    fts = tuple(
+        (hierarchy._make_touch(c, 0), c.config.line_size,
+         c.config.num_sets) for c in hierarchy._fetch_chain)
+    dts = tuple(
+        (hierarchy._make_touch(c, 2), c.config.line_size,
+         c.config.num_sets) for c in hierarchy._data_chain)
+    wts = tuple(
+        (hierarchy._make_write_touch(c), c.config.line_size,
+         c.config.num_sets) for c in hierarchy._data_chain)
+    fcosts = [out.cycles for out in hierarchy._fetch_out]
+    dcosts = [out.cycles for out in hierarchy._data_out]
+    cycles = 0
+    for value in trace.ops:
+        tag = value & 7
+        addr = value >> 3
+        if tag == 0:
+            if not fts:
+                continue  # priced by _fixed_cycles
+            depth = 0
+            for touch, line, nsets in fts:
+                block = addr // line
+                if touch(block, block % nsets):
+                    break
+                depth += 1
+            cycles += fcosts[depth]
+        elif tag < 4:
+            if not dts:
+                continue
+            depth = 0
+            for touch, line, nsets in dts:
+                block = addr // line
+                if touch(block, block % nsets):
+                    break
+                depth += 1
+            cycles += dcosts[depth]
+        else:
+            for touch, line, nsets in wts:
+                block = addr // line
+                touch(block, block % nsets)
+    return cycles
+
+
+# -- single-pass size sweeps -------------------------------------------------
+
+def sweep_geometry(config: SystemConfig):
+    """The shared-geometry key of *config*, or None if not sweepable.
+
+    Sweepable configs have exactly one cache level that serves fetches,
+    direct-mapped with LRU (where direct-mapped content is just "last
+    allocated block per set" — the degenerate Mattson stack), optionally
+    behind a scratchpad.  Configs with equal keys (and equal SPM splits)
+    may be evaluated together by :func:`replay_sweep` in one pass.
+    """
+    caches = config.cache_level_specs
+    if len(caches) != 1:
+        return None
+    level = caches[0]
+    if level.icache is None:
+        return None
+    if level.dcache is not None and not level.shared:
+        return None
+    spec = level.icache
+    if spec.assoc != 1 or spec.replacement != ReplacementPolicy.LRU:
+        return None
+    # Per-config costs (hit_cycles, timing) are priced after the walk,
+    # so only what shapes the shared walk itself keys the group.
+    return (spec.line_size, level.shared, config.spm_size)
+
+
+def replay_sweep(trace: Trace, configs,
+                 max_steps: int = 50_000_000):
+    """Evaluate every same-geometry config in **one** pass over *trace*.
+
+    All *configs* must share one :func:`sweep_geometry` key; returns one
+    :class:`~repro.sim.simulator.SimResult` per config, in order, each
+    bit-identical to :func:`replay` (asserted by the differential and
+    property tests).
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    _check_budget(trace, max_steps)
+    keys = {sweep_geometry(config) for config in configs}
+    if len(keys) != 1 or None in keys:
+        raise ValueError("replay_sweep needs same-geometry direct-mapped "
+                         f"LRU configs, got keys {keys}")
+    for config in configs:
+        _check_spm(trace, config)
+    line, unified, _spm = next(iter(keys))
+
+    hierarchies = [MemoryHierarchy(config) for config in configs]
+    tables = []
+    for hierarchy in hierarchies:
+        cache = hierarchy._fetch_chain[0]
+        tables.append(([-1] * cache.config.num_sets,
+                       cache.config.num_sets, [0] * 6))
+
+    if len(tables) == 1:
+        # Degenerate sweep: the specialized single-config walks are
+        # cheaper than the multi-table loop.
+        results = [replay(trace, configs[0], max_steps)]
+        COUNTERS["replay_runs"] -= 1
+    else:
+        _sweep_walk(trace.ops, tables, line, unified)
+        results = []
+        for config, hierarchy, (_last, _nsets, counts) in zip(
+                configs, hierarchies, tables):
+            cache = hierarchy._fetch_chain[0]
+            fast = cache.fast_counts
+            for i in range(6):
+                fast[i] = counts[i]
+            f_hit, f_miss = (out.cycles for out in hierarchy._fetch_out)
+            cycles = trace.base_cycles + _fixed_cycles(
+                trace, hierarchy, fetches_fixed=False,
+                reads_fixed=not unified)
+            cycles += counts[0] * f_hit + counts[1] * f_miss
+            if unified:
+                r_hit, r_miss = (out.cycles
+                                 for out in hierarchy._data_out)
+                cycles += counts[2] * r_hit + counts[3] * r_miss
+            results.append(_result(trace, hierarchy, cycles))
+    COUNTERS["sweep_passes"] += 1
+    COUNTERS["sweep_points"] += len(configs)
+    return results
+
+
+def _sweep_walk(ops, tables, line, unified):
+    """The single-pass multi-size kernel over the packed stream.
+
+    ``prev`` is the block of the most recent *allocating* access
+    (fetch/read).  Immediately after it, that block is the MRU line of
+    its set in every candidate size, so a repeat access hits everywhere
+    and no table needs touching — the case that dominates straight-line
+    fetch runs.  Writes never allocate, so they check residency without
+    perturbing the shared recency state.
+    """
+    prev = -1
+    for value in ops:
+        tag = value & 7
+        if tag and not unified:
+            continue  # instruction cache: data bypasses every size
+        block = (value >> 3) // line
+        if tag == 0:
+            if block == prev:
+                for _last, _nsets, counts in tables:
+                    counts[0] += 1
+            else:
+                prev = block
+                for last, nsets, counts in tables:
+                    index = block % nsets
+                    if last[index] == block:
+                        counts[0] += 1
+                    else:
+                        last[index] = block
+                        counts[1] += 1
+        elif tag < 4:
+            if block == prev:
+                for _last, _nsets, counts in tables:
+                    counts[2] += 1
+            else:
+                prev = block
+                for last, nsets, counts in tables:
+                    index = block % nsets
+                    if last[index] == block:
+                        counts[2] += 1
+                    else:
+                        last[index] = block
+                        counts[3] += 1
+        else:
+            if block == prev:
+                for _last, _nsets, counts in tables:
+                    counts[4] += 1
+            else:
+                for last, nsets, counts in tables:
+                    if last[block % nsets] == block:
+                        counts[4] += 1
+                    else:
+                        counts[5] += 1

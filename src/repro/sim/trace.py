@@ -1,0 +1,268 @@
+"""Recorded dynamic access traces: execute once, replay per config.
+
+The paper's ARMulator setup has a property this module turns into a
+performance lever: the modelled core has no timing-dependent behaviour,
+so the dynamic instruction/access stream of an executable is *identical*
+under every memory configuration — SPM, cache shapes, deeper pipelines —
+that is compatible with the image's placement.  Memory timing decides
+how many cycles each access costs, never which access happens next.
+
+A :class:`Trace` is therefore recorded **once per image** by the flat-
+array execution engine (:mod:`repro.sim.engine` stays the ground truth
+— the recorder is the same compiled program, just with a cost tap that
+appends to the trace instead of probing tag arrays) and then served to
+:mod:`repro.sim.replay`, which re-prices it under any number of
+:class:`~repro.memory.hierarchy.SystemConfig` shapes at tag-array speed,
+bit-identical to re-executing.
+
+Contents, packed for tight replay loops:
+
+* ``ops`` — the interleaved fetch/read/write stream of every access that
+  reaches the cache pipeline, one ``array('Q')`` word per access:
+  ``addr << 3 | tag`` with the tag encoding kind and width (fetches are
+  always 2 bytes wide, so one tag suffices for them);
+* ``op_counts`` / ``spm_counts`` — per-tag totals of the main-memory
+  stream and of the SPM-resident accesses.  SPM hits bypass every cache
+  level and cost a fixed per-width amount, so they never need to be
+  walked — aggregate counts price them in O(1) (and keep hybrid traces
+  small);
+* ``base_cycles`` — the config-independent cycle component: branch
+  refills plus the MUL/SWI execute extras;
+* ``instructions``, ``exit_code``, ``console`` — the architectural
+  results every replay re-reports.
+
+Traces are content-addressed via :meth:`~repro.link.image.Image.
+content_key` through an in-process table plus an optional shared on-disk
+layer (:func:`set_trace_cache_dir`), mirroring the PR-4 analysis reuse
+cache; ``repro-cc trace --profile`` dumps the counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from array import array
+
+from ..memory.hierarchy import SystemConfig
+from ..memory.regions import STACK_TOP
+from .engine import compile_program
+from .simulator import MemoryFault, SimError, Simulator
+
+#: Access-kind tags in the packed ``ops`` stream (low 3 bits).
+TAG_FETCH = 0
+READ_TAGS = {1: 1, 2: 2, 4: 3}
+WRITE_TAGS = {1: 4, 2: 5, 4: 6}
+
+#: tag -> access width in bytes (fetches are 16-bit).
+TAG_WIDTH = (2, 1, 2, 4, 1, 2, 4)
+
+#: Bump when the trace layout or recording semantics change: stale
+#: on-disk entries then miss instead of corrupting replays.
+_TRACE_VERSION = "trace-1"
+
+COUNTERS = {
+    "trace_hits": 0,
+    "trace_misses": 0,
+    "trace_disk_hits": 0,
+    "trace_records": 0,
+    "replay_runs": 0,
+    "sweep_passes": 0,
+    "sweep_points": 0,
+}
+
+_TRACE_CACHE = {}
+_TRACE_DIR = None
+
+
+class Trace:
+    """One image's dynamic access stream plus its fixed cycle base."""
+
+    __slots__ = ("ops", "op_counts", "spm_counts", "base_cycles",
+                 "instructions", "exit_code", "console", "spm_size")
+
+    def __init__(self, ops, op_counts, spm_counts, base_cycles,
+                 instructions, exit_code, console, spm_size):
+        self.ops = ops
+        self.op_counts = op_counts
+        self.spm_counts = spm_counts
+        self.base_cycles = base_cycles
+        self.instructions = instructions
+        self.exit_code = exit_code
+        self.console = console
+        self.spm_size = spm_size
+
+    @property
+    def accesses(self) -> int:
+        """Total dynamic accesses, SPM-resident ones included."""
+        return sum(self.op_counts) + sum(self.spm_counts)
+
+    def counts_by_kind(self):
+        """``(fetches, reads, writes)`` over the whole stream."""
+        totals = [a + b for a, b in zip(self.op_counts, self.spm_counts)]
+        return (totals[0], sum(totals[1:4]), sum(totals[4:7]))
+
+
+class _TraceTap:
+    """Hierarchy stand-in for the engine: records accesses at zero cost.
+
+    Exposes the same two factories the engine compiles against
+    (:meth:`fetch_fast_factory` / :meth:`data_fast_ops`); every closure
+    appends the access to the packed stream (or bumps the SPM-resident
+    counter) and returns 0 cycles, so the engine's cycle box accumulates
+    exactly the config-independent base: refills and execute extras.
+    """
+
+    def __init__(self, spm_end: int):
+        self.spm_end = spm_end
+        self.ops = array("Q")
+        self.spm_counts = [0] * 7
+
+    def fetch_fast_factory(self):
+        spm_end = self.spm_end
+        append = self.ops.append
+        spm_counts = self.spm_counts
+
+        def make(addr):
+            if 0 <= addr < spm_end:
+                def fetch():
+                    spm_counts[TAG_FETCH] += 1
+                    return 0
+                return fetch
+            packed = addr << 3  # | TAG_FETCH (== 0)
+
+            def fetch():
+                append(packed)
+                return 0
+            return fetch
+        return make
+
+    def data_fast_ops(self):
+        spm_end = self.spm_end
+        append = self.ops.append
+        spm_counts = self.spm_counts
+        read_tags, write_tags = READ_TAGS, WRITE_TAGS
+
+        def dread(addr, width):
+            if 0 <= addr < spm_end:
+                spm_counts[read_tags[width]] += 1
+            else:
+                append((addr << 3) | read_tags[width])
+            return 0
+
+        def dwrite(addr, width):
+            if 0 <= addr < spm_end:
+                spm_counts[write_tags[width]] += 1
+            else:
+                append((addr << 3) | write_tags[width])
+            return 0
+
+        return dread, dwrite
+
+
+def record_trace(image, spm_size: int = None,
+                 max_steps: int = 50_000_000) -> Trace:
+    """Execute *image* once on the engine and record its access stream.
+
+    *spm_size* is the scratchpad capacity the image was linked against
+    (``None`` derives it from the image's own placement); it fixes the
+    SPM/main address split, which every compatible replay config shares
+    by construction — cache shapes behind that split are free to vary.
+    """
+    if spm_size is None:
+        spm_size = _image_spm_size(image)
+    config = (SystemConfig.scratchpad(spm_size) if spm_size
+              else SystemConfig.uncached())
+    sim = Simulator(image, config)
+    tap = _TraceTap(spm_size)
+    program = compile_program(sim.code, sim.ram, tap, sim.regs,
+                              sim._spm_limit, SimError, MemoryFault)
+    regs = sim.regs
+    regs[13] = STACK_TOP
+    regs[14] = 0
+    base_cycles, steps, exit_code = program.run(image.entry, max_steps)
+    op_counts = [0] * 7
+    for value in tap.ops:
+        op_counts[value & 7] += 1
+    COUNTERS["trace_records"] += 1
+    return Trace(ops=tap.ops, op_counts=tuple(op_counts),
+                 spm_counts=tuple(tap.spm_counts),
+                 base_cycles=base_cycles, instructions=steps,
+                 exit_code=exit_code, console=tuple(program.console),
+                 spm_size=spm_size)
+
+
+def _image_spm_size(image) -> int:
+    """Smallest SPM capacity covering the image's scratchpad objects."""
+    return max((obj.end for obj in image.objects
+                if obj.region == "scratchpad"), default=0)
+
+
+# -- the content-addressed trace cache --------------------------------------
+
+def set_trace_cache_dir(path):
+    """Enable (or with None disable) the shared on-disk trace layer."""
+    global _TRACE_DIR
+    _TRACE_DIR = None if path is None else str(path)
+
+
+def trace_cache_dir():
+    return _TRACE_DIR
+
+
+def clear_trace_caches():
+    """Drop every in-memory trace (the disk layer is untouched)."""
+    _TRACE_CACHE.clear()
+
+
+def trace_counters() -> dict:
+    return dict(COUNTERS)
+
+
+def _trace_path(key):
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()
+    return os.path.join(_TRACE_DIR, digest + ".trace.pkl")
+
+
+def trace_for(image, spm_size: int = None,
+              max_steps: int = 50_000_000) -> Trace:
+    """The recorded trace for *image*, recording on first use.
+
+    Keyed by the image content hash (plus the SPM split), so relinking
+    the same program — or any placement change at all — invalidates
+    automatically.  A trace recorded under a larger step budget is valid
+    under a smaller one only if the run fit; :func:`~repro.sim.replay.
+    replay` re-checks ``instructions <= max_steps`` and raises the same
+    runaway error the engine would.
+    """
+    if spm_size is None:
+        spm_size = _image_spm_size(image)
+    key = (_TRACE_VERSION, image.content_key(), spm_size)
+    trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        COUNTERS["trace_hits"] += 1
+        return trace
+    if _TRACE_DIR is not None:
+        try:
+            with open(_trace_path(key), "rb") as handle:
+                trace = pickle.load(handle)
+        except (OSError, EOFError, pickle.PickleError, AttributeError):
+            trace = None
+        if trace is not None:
+            _TRACE_CACHE[key] = trace
+            COUNTERS["trace_hits"] += 1
+            COUNTERS["trace_disk_hits"] += 1
+            return trace
+    COUNTERS["trace_misses"] += 1
+    trace = record_trace(image, spm_size, max_steps)
+    _TRACE_CACHE[key] = trace
+    if _TRACE_DIR is not None:
+        path = _trace_path(key)
+        tmp = f"{path}.tmp{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(trace, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: concurrent workers never
+        except OSError:            # observe a half-written entry
+            pass
+    return trace

@@ -12,7 +12,14 @@ Right branch (cache):
 
 A :class:`Workflow` caches the compile and profile steps so a size sweep
 only repeats the placement/simulation/analysis work, like the paper's
-experimental setup.
+experimental setup.  Simulation itself is trace-driven wherever an
+executable is evaluated under more than one memory timing: the dynamic
+access stream is recorded once per image (:mod:`repro.sim.trace`) and
+re-priced per configuration by the replay kernels
+(:mod:`repro.sim.replay`), with same-geometry cache size sweeps served
+by a single Mattson-style pass (:meth:`Workflow.cache_points`).  Results
+are bit-identical to executing every point (the engine remains the
+recorder and the ground truth).
 
 Beyond the paper's two branches, the deeper pipelines of
 :mod:`repro.memory.levels` get evaluation points too:
@@ -31,7 +38,9 @@ from .memory.cache import CacheConfig
 from .memory.hierarchy import SystemConfig
 from .minic.frontend import compile_source
 from .sim.profile import ProgramProfile, build_profile
+from .sim.replay import replay, replay_sweep, sweep_geometry
 from .sim.simulator import SimResult, simulate
+from .sim.trace import trace_for
 from .spm.allocator import Allocation, allocate_energy_optimal
 from .spm.wcet_driven import allocate_wcet_driven
 from .wcet.analyzer import WCETResult, analyze_wcet
@@ -151,32 +160,95 @@ class Workflow:
     def spm_sweep(self, sizes=PAPER_SIZES, method: str = "energy"):
         return [self.spm_point(size, method) for size in sizes]
 
+    # -- trace-driven simulation -------------------------------------------------
+
+    def _traced_sim(self, image, config: SystemConfig,
+                    spm_size: int = 0) -> SimResult:
+        """Simulate via the recorded trace (recording it on first use)."""
+        trace = trace_for(image, spm_size, max_steps=self.max_steps)
+        return replay(trace, config, max_steps=self.max_steps)
+
+    def _cache_sims(self, caches) -> dict:
+        """One :class:`SimResult` per cache config, trace-replayed.
+
+        Same-geometry direct-mapped LRU groups (the paper's size sweeps)
+        are served from a single stack-distance pass over the baseline
+        trace; everything else replays per config.  All of it reuses the
+        one recorded trace of the shared executable.
+        """
+        trace = trace_for(self.baseline_image(), 0,
+                          max_steps=self.max_steps)
+        groups = {}
+        singles = []
+        for cache in dict.fromkeys(caches):
+            config = SystemConfig.cached(cache)
+            key = sweep_geometry(config)
+            if key is None:
+                singles.append((cache, config))
+            else:
+                groups.setdefault(key, []).append((cache, config))
+        sims = {}
+        for items in groups.values():
+            if len(items) == 1:
+                singles.extend(items)
+                continue
+            results = replay_sweep(trace, [config for _, config in items],
+                                   max_steps=self.max_steps)
+            for (cache, _), sim in zip(items, results):
+                sims[cache] = sim
+        for cache, config in singles:
+            sims[cache] = replay(trace, config, max_steps=self.max_steps)
+        return sims
+
     # -- right branch: cache ----------------------------------------------------------
 
     def cache_point(self, cache: CacheConfig,
                     persistence: bool = False) -> EvaluationPoint:
         """Evaluate one cache configuration on the shared executable."""
-        key = ("cache", cache, persistence)
-        if key in self._points:
-            return self._points[key]
-        image = self.baseline_image()
-        config = SystemConfig.cached(cache)
-        sim = simulate(image, config, max_steps=self.max_steps)
-        wcet = analyze_wcet(image, config, persistence=persistence)
-        point = EvaluationPoint(config=config, image=image, sim=sim,
-                                wcet=wcet)
-        self._points[key] = point
-        return point
+        return self.cache_points([(cache, persistence)])[0]
+
+    def cache_points(self, specs):
+        """Evaluate ``(cache, persistence)`` specs, batching the sims.
+
+        The sweep-aware planner: every spec's simulation comes from the
+        shared executable's recorded trace, with compatible-geometry
+        size sweeps collapsed into one single-pass replay, and WCET
+        analysis runs once per distinct spec.  Returns points in spec
+        order (memoized like :meth:`cache_point` always was).
+        """
+        specs = [(cache, bool(persistence)) for cache, persistence in specs]
+        pending = [
+            spec for spec in dict.fromkeys(specs)
+            if ("cache",) + spec not in self._points]
+        if pending:
+            image = self.baseline_image()
+            # Persistence only changes the WCET side; a point already
+            # evaluated under the other persistence setting donates its
+            # simulation instead of replaying again.
+            sims = {}
+            for cache, persistence in pending:
+                other = self._points.get(("cache", cache, not persistence))
+                if other is not None:
+                    sims[cache] = other.sim
+            fresh = [cache for cache, _ in pending if cache not in sims]
+            if fresh:
+                sims.update(self._cache_sims(fresh))
+            for cache, persistence in pending:
+                config = SystemConfig.cached(cache)
+                wcet = analyze_wcet(image, config,
+                                    persistence=persistence)
+                self._points[("cache", cache, persistence)] = \
+                    EvaluationPoint(config=config, image=image,
+                                    sim=sims[cache], wcet=wcet)
+        return [self._points[("cache",) + spec] for spec in specs]
 
     def cache_sweep(self, sizes=PAPER_SIZES, line_size: int = 16,
                     assoc: int = 1, unified: bool = True,
                     persistence: bool = False):
-        points = []
-        for size in sizes:
-            cache = CacheConfig(size=size, line_size=line_size,
-                                assoc=assoc, unified=unified)
-            points.append(self.cache_point(cache, persistence=persistence))
-        return points
+        return self.cache_points([
+            (CacheConfig(size=size, line_size=line_size, assoc=assoc,
+                         unified=unified), persistence)
+            for size in sizes])
 
     # -- deeper pipelines (the future-work shapes) ------------------------------
 
@@ -204,7 +276,7 @@ class Workflow:
                      spm_objects=allocation.objects,
                      config_name=f"spm{spm_size}+cache{cache.size}")
         config = SystemConfig.hybrid(spm_size, cache)
-        sim = simulate(image, config, max_steps=self.max_steps)
+        sim = self._traced_sim(image, config, spm_size=spm_size)
         wcet = analyze_wcet(image, config, persistence=persistence)
         point = EvaluationPoint(config=config, image=image, sim=sim,
                                 wcet=wcet, allocation=allocation)
@@ -226,7 +298,7 @@ class Workflow:
         if key in self._points:
             return self._points[key]
         image = self.baseline_image()
-        sim = simulate(image, config, max_steps=self.max_steps)
+        sim = self._traced_sim(image, config)
         wcet = analyze_wcet(image, config, persistence=persistence)
         point = EvaluationPoint(config=config, image=image, sim=sim,
                                 wcet=wcet)
@@ -236,9 +308,14 @@ class Workflow:
     # -- baseline -----------------------------------------------------------------------
 
     def uncached_point(self) -> EvaluationPoint:
+        key = ("uncached",)
+        if key in self._points:
+            return self._points[key]
         image = self.baseline_image()
         config = SystemConfig.uncached()
-        sim = simulate(image, config, max_steps=self.max_steps)
+        sim = self._traced_sim(image, config)
         wcet = analyze_wcet(image, config)
-        return EvaluationPoint(config=config, image=image, sim=sim,
-                               wcet=wcet)
+        point = EvaluationPoint(config=config, image=image, sim=sim,
+                                wcet=wcet)
+        self._points[key] = point
+        return point

@@ -23,21 +23,33 @@ def sim_report():
     return bench_suite.bench_simulator(rounds=1)
 
 
+EXECUTE_LABELS = ("uncached", "l1", "l1+l2", "split-i/d")
+
+
 def test_simulator_report_shape(sim_report):
-    assert set(sim_report) == {"uncached", "l1", "l1+l2", "split-i/d"}
+    expected = set(EXECUTE_LABELS)
+    expected |= {f"{label} (replay)" for label in EXECUTE_LABELS}
+    expected |= {"trace-record", "sweep-x8 (replay)"}
+    assert set(sim_report) == expected
     for entry in sim_report.values():
         assert entry["instructions_per_sec"] > 0
         assert entry["seconds"] > 0
+    assert sim_report["sweep-x8 (replay)"]["points"] == 8
+    assert sim_report["trace-record"]["accesses"] > 0
 
 
 def test_simulator_semantic_anchors(sim_report):
     committed = json.loads(
         (_BENCH_DIR / "BENCH_hierarchy.json").read_text())
-    for label, entry in sim_report.items():
+    for label in EXECUTE_LABELS:
         # Cycles and instruction counts are simulation facts, not
-        # timings: they must match the committed trajectory baseline.
+        # timings: they must match the committed trajectory baseline —
+        # on the execute rows and on their trace-replay twins.
+        entry = sim_report[label]
         assert entry["sim_cycles"] == committed[label]["sim_cycles"]
         assert entry["instructions"] == committed[label]["instructions"]
+        replayed = sim_report[f"{label} (replay)"]
+        assert replayed["sim_cycles"] == committed[label]["sim_cycles"]
 
 
 def test_wcet_report_anchors():
