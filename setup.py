@@ -27,6 +27,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-cc = repro.cli:main",
+            "repro-gen = repro.gen.cli:main",
             "repro-experiments = repro.experiments.runner:main",
         ],
     },

@@ -7,7 +7,12 @@ Subcommands (all take a mini-C source file):
   hottest fetch-miss addresses; ``--engine replay`` records the access
   trace once and re-prices it, bit-identical to ``--engine execute``)
 * ``trace``      — record the dynamic access trace and summarise it
-  (``--profile`` dumps the trace-cache and replay counters)
+  (``--profile`` dumps the trace-cache and replay counters;
+  ``--export FILE`` writes the portable text format ``ingest`` reads)
+* ``ingest``     — parse a foreign address trace (Pin ``pinatrace`` /
+  PredicMem-style CSV / the ``trace --export`` format) and price it
+  under any modelled hierarchy, or ``--sweep`` cache sizes in one pass
+* ``gen``        — the seeded workload generator (same as ``repro-gen``)
 * ``wcet``       — static WCET analysis; print the per-function report
 * ``compare``    — the paper's experiment on one program: sim vs. WCET
 * ``map``        — placement map (the linker's view)
@@ -45,7 +50,7 @@ from .memory.hierarchy import SystemConfig
 from .memory.levels import CacheLevel, MainMemoryLevel, SpmLevel
 from .minic.frontend import compile_source
 from .sim.profile import build_profile
-from .sim.simulator import simulate
+from .sim.simulator import SimError, simulate
 from .spm.allocator import allocate_energy_optimal
 from .spm.wcet_driven import allocate_wcet_driven
 from .wcet.analyzer import analyze_wcet
@@ -53,10 +58,13 @@ from .wcet.annotations import format_annotations, generate_annotations
 from .wcet.cfg import build_all_cfgs
 
 
-def _add_memory_options(parser):
+def _add_source_option(parser):
     parser.add_argument("source", help="mini-C source file")
     parser.add_argument("--entry", default="main",
                         help="entry function (default: main)")
+
+
+def _add_memory_options(parser):
     parser.add_argument("--spm", type=int, metavar="BYTES",
                         help="scratchpad capacity")
     parser.add_argument("--alloc", choices=("energy", "wcet"),
@@ -150,6 +158,24 @@ def _build(args):
     return link(compiled.program), config
 
 
+def _print_result(result, config):
+    print(f"# {config.describe()}")
+    print(f"# cycles:       {result.cycles}")
+    print(f"# instructions: {result.instructions}")
+    print(f"# exit code:    {result.exit_code}")
+    if len(result.level_stats) > 1:
+        for name, stats in result.level_stats.items():
+            total = stats.hits + stats.misses
+            print(f"# {name:5} cache:  {stats.hits} hits, "
+                  f"{stats.misses} misses "
+                  f"({100 * stats.misses / max(total, 1):.2f}% miss rate)")
+    elif result.cache_stats is not None:
+        stats = result.cache_stats
+        total = stats.hits + stats.misses
+        print(f"# cache:        {stats.hits} hits, {stats.misses} misses "
+              f"({100 * stats.misses / max(total, 1):.2f}% miss rate)")
+
+
 def cmd_run(args):
     image, config = _build(args)
     # Plain runs take the compiled fast engine; --record-misses opts
@@ -166,21 +192,7 @@ def cmd_run(args):
         result = simulate(image, config, record_misses=args.record_misses)
     for line in result.console:
         print(line)
-    print(f"# {config.describe()}")
-    print(f"# cycles:       {result.cycles}")
-    print(f"# instructions: {result.instructions}")
-    print(f"# exit code:    {result.exit_code}")
-    if len(result.level_stats) > 1:
-        for name, stats in result.level_stats.items():
-            total = stats.hits + stats.misses
-            print(f"# {name:5} cache:  {stats.hits} hits, "
-                  f"{stats.misses} misses "
-                  f"({100 * stats.misses / max(total, 1):.2f}% miss rate)")
-    elif result.cache_stats is not None:
-        stats = result.cache_stats
-        total = stats.hits + stats.misses
-        print(f"# cache:        {stats.hits} hits, {stats.misses} misses "
-              f"({100 * stats.misses / max(total, 1):.2f}% miss rate)")
+    _print_result(result, config)
     if args.record_misses and result.fetch_misses:
         worst = sorted(result.fetch_misses.items(),
                        key=lambda kv: (-kv[1], kv[0]))[:5]
@@ -190,23 +202,61 @@ def cmd_run(args):
     return 0
 
 
-def cmd_trace(args):
-    image, config = _build(args)
-    from .sim.trace import trace_counters, trace_for
-    trace = trace_for(image, config.spm_size)
+def _print_trace_summary(trace, heading):
     fetches, reads, writes = trace.counts_by_kind()
-    print(f"# {config.describe()}")
+    print(f"# {heading}")
     print(f"# accesses:     {trace.accesses} ({fetches} fetches, "
           f"{reads} reads, {writes} writes)")
     print(f"# spm-resident: {sum(trace.spm_counts)}")
     print(f"# base cycles:  {trace.base_cycles}")
     print(f"# instructions: {trace.instructions}")
     print(f"# exit code:    {trace.exit_code}")
+
+
+def cmd_trace(args):
+    image, config = _build(args)
+    from .sim.trace import trace_counters, trace_for
+    trace = trace_for(image, config.spm_size)
+    if args.export:
+        from .sim.ingest import save_trace
+        save_trace(trace, args.export)
+        print(f"# exported {len(trace.ops)} records to {args.export}")
+    _print_trace_summary(trace, config.describe())
     if args.profile:
         print("# trace counters:")
         for key, value in sorted(trace_counters().items()):
             print(f"#   {key:16} {value:>8}")
     return 0
+
+
+def cmd_ingest(args):
+    """Price a foreign address trace under the modelled hierarchies."""
+    from .memory.cache import CacheConfig as _CacheConfig
+    from .sim.ingest import TraceFormatError, load_trace
+    from .sim.replay import replay, replay_sweep
+    try:
+        trace = load_trace(args.trace, fmt=args.format)
+    except TraceFormatError as error:
+        raise SystemExit(f"ingest: {error}") from None
+    config = _config_for(args)
+    _print_trace_summary(trace, f"ingested: {args.trace}")
+    try:
+        if args.sweep:
+            sizes = [int(field) for field in args.sweep.split(",")]
+            configs = [
+                SystemConfig.cached(_CacheConfig(
+                    size=size, line_size=args.line,
+                    unified=not args.icache)) for size in sizes]
+            for cfg, result in zip(configs, replay_sweep(trace, configs)):
+                print(f"# {cfg.cache.size:>7} B cache: "
+                      f"{result.cycles} cycles")
+            return 0
+        _print_result(replay(trace, config), config)
+    except (ValueError, SimError) as error:
+        raise SystemExit(f"ingest: {error}") from None
+    return 0
+
+
 
 
 def cmd_wcet(args):
@@ -277,6 +327,13 @@ def cmd_annotations(args):
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "gen":
+        # Everything after "gen" belongs to repro-gen's own parser
+        # (argparse.REMAINDER cannot forward leading optionals).
+        from .gen.cli import main as gen_main
+        return gen_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-cc",
         description="mini-C toolchain: simulate and bound embedded tasks")
@@ -290,6 +347,7 @@ def main(argv=None) -> int:
             ("disasm", cmd_disasm, False),
             ("annotations", cmd_annotations, False)):
         command = sub.add_parser(name)
+        _add_source_option(command)
         _add_memory_options(command)
         if needs_persistence:
             command.add_argument(
@@ -310,12 +368,33 @@ def main(argv=None) -> int:
                 "--profile", action="store_true",
                 help="print trace-cache and replay counters after "
                      "the dump")
+            command.add_argument(
+                "--export", metavar="FILE",
+                help="also write the trace in the portable text "
+                     "format (gzip when FILE ends in .gz)")
         if name == "wcet":
             command.add_argument(
                 "--profile", action="store_true",
                 help="print analysis reuse-cache and state-interning "
                      "counters after the run")
         command.set_defaults(func=func)
+
+    ingest = sub.add_parser(
+        "ingest", help="replay a foreign address trace (Pin/PredicMem "
+                       "style or the trace --export format)")
+    ingest.add_argument("trace", help="trace file (.gz accepted)")
+    ingest.add_argument("--format", default="auto",
+                        choices=("auto", "repro", "pin", "predicmem"),
+                        help="input format (default: auto-detect)")
+    ingest.add_argument("--sweep", metavar="SIZES",
+                        help="comma-separated cache sizes: price them "
+                             "all in one single-pass replay")
+    _add_memory_options(ingest)
+    ingest.set_defaults(func=cmd_ingest)
+
+    sub.add_parser("gen", add_help=False,
+                   help="seeded mini-C workload generator (repro-gen)")
+
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -46,9 +46,26 @@ _JOBS = 1
 
 
 def workflow_for(key: str) -> Workflow:
-    """Cached workflow per benchmark (compile + profile once)."""
+    """Cached workflow per benchmark (compile + profile once).
+
+    Besides the seven suite names, ``gen:<seed>`` and
+    ``gen:<seed>:<size>`` keys run experiments over generated workloads
+    (:mod:`repro.gen`) — e.g. ``repro-experiments --bench gen:1234``
+    prices generated program 1234 exactly like a hand-ported benchmark.
+    """
     if key not in _WORKFLOWS:
-        _WORKFLOWS[key] = Workflow(get_benchmark(key).source())
+        if key.startswith("gen:"):
+            from ..gen import generate
+            fields = key.split(":")
+            if len(fields) not in (2, 3):
+                raise ValueError(f"bad generated-benchmark key {key!r} "
+                                 "(expected gen:<seed>[:<size>])")
+            seed = int(fields[1])
+            size = fields[2] if len(fields) == 3 else "small"
+            source = generate(seed, size).source
+            _WORKFLOWS[key] = Workflow(source)
+        else:
+            _WORKFLOWS[key] = Workflow(get_benchmark(key).source())
     return _WORKFLOWS[key]
 
 

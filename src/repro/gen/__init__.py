@@ -1,0 +1,35 @@
+"""Workload generation: seeded mini-C programs and fuzzing harnesses.
+
+Grows the benchmark suite beyond the paper's seven hand-ported programs:
+
+* :mod:`repro.gen.progen` — deterministic seeded generator with an
+  exact reference evaluator (self-checking programs, byte-identical
+  per seed);
+* :mod:`repro.gen.strategies` — Hypothesis strategies for shrinkable
+  tier-1 property tests (needs the ``hypothesis`` package);
+* :mod:`repro.gen.harness` — the tiered soundness checks the fuzz
+  suites and ``repro-gen --check`` run.
+"""
+
+from .progen import (
+    GeneratedProgram,
+    GenError,
+    SIZE_PROFILES,
+    generate,
+    wrap32,
+    write_corpus,
+)
+from .harness import (
+    DEFAULT_SHAPES,
+    SoundnessFailure,
+    check_program,
+    check_seed,
+    check_spm_placement,
+)
+
+__all__ = [
+    "GeneratedProgram", "GenError", "SIZE_PROFILES", "generate",
+    "wrap32", "write_corpus",
+    "DEFAULT_SHAPES", "SoundnessFailure", "check_program", "check_seed",
+    "check_spm_placement",
+]

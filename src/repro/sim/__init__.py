@@ -12,7 +12,7 @@ Two complementary paths produce bit-identical results:
 
 from .simulator import MemoryFault, SimError, SimResult, Simulator, simulate
 from .profile import ObjectProfile, ProgramProfile, build_profile
-from .replay import replay, replay_sweep, sweep_geometry
+from .replay import replay, replay_misses, replay_sweep, sweep_geometry
 from .trace import (
     Trace,
     clear_trace_caches,
@@ -21,11 +21,13 @@ from .trace import (
     trace_counters,
     trace_for,
 )
+from .ingest import TraceFormatError, dump_trace, load_trace, parse_trace
 
 __all__ = [
     "MemoryFault", "SimError", "SimResult", "Simulator", "simulate",
     "ObjectProfile", "ProgramProfile", "build_profile",
-    "replay", "replay_sweep", "sweep_geometry",
+    "replay", "replay_misses", "replay_sweep", "sweep_geometry",
     "Trace", "clear_trace_caches", "record_trace", "set_trace_cache_dir",
     "trace_counters", "trace_for",
+    "TraceFormatError", "dump_trace", "load_trace", "parse_trace",
 ]

@@ -1,0 +1,333 @@
+"""External trace ingestion: foreign address streams become Traces.
+
+The replay and sweep kernels (:mod:`repro.sim.replay`) only need a
+packed ``addr << 3 | tag`` access stream — nothing about them is tied to
+our ISA.  This module opens that end of the pipeline: it parses textual
+address traces into :class:`~repro.sim.trace.Trace` objects so
+real-world workloads (Pin-collected streams, PredicMem23-style memory
+traces) can be priced under every memory configuration the repo models,
+including single-pass cache-size sweeps.
+
+Three input shapes are recognised (``fmt="auto"`` sniffs the first
+non-blank line):
+
+``repro`` — the native exchange format :func:`dump_trace` writes::
+
+    # repro-trace 1
+    # base_cycles 8261
+    # instructions 2104
+    # exit_code 42
+    # spm_size 0
+    # spm_counts 0 0 0 0 0 0 0 0
+    # console "17"
+    F 0x40000000
+    C 0x40000002
+    R4 0x40001000
+    W2 0x40001004
+
+  One record per access: ``F`` instruction fetch, ``C`` continuation
+  fetch (second halfword of a 32-bit instruction), ``R<w>``/``W<w>``
+  data read/write of width ``w`` in {1, 2, 4} bytes.  Metadata headers
+  carry everything else a :class:`Trace` holds, so a dump → ingest
+  round trip reproduces the recorded trace bit for bit and replays
+  identically to the original.
+
+``pin`` — Pin ``pinatrace``-style lines::
+
+    0x7f06c0d8a123: R 0x7fff5a8c0a98
+    0x7f06c0d8a125: W 0x7fff5a8c0a90
+
+  Each line is a data access (width 4 unless a trailing size column
+  says otherwise).  Whenever the instruction pointer changes from the
+  previous line, one instruction fetch at the new ip is synthesised in
+  front of the access, approximating the fetch stream the data stream
+  rode on.
+
+``predicmem`` — PredicMem23-style CSV, ``ip,addr`` (or ``;``-separated)
+  per line: a memory read at ``addr`` by the instruction at ``ip``,
+  with the same ip-change fetch synthesis as ``pin``.
+
+Foreign traces have no architectural results: ``base_cycles`` is 0,
+``exit_code`` 0, the console empty, and ``instructions`` is the number
+of (synthesised) fetches, falling back to the record count for purely
+data streams.  Malformed input — unknown kinds, bad numbers, bad
+widths, truncated or unrecognisable files — raises
+:class:`TraceFormatError` naming the offending line.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from array import array
+
+from .trace import READ_TAGS, TAG_FETCH, TAG_FETCH_CONT, Trace, WRITE_TAGS
+
+#: Version written by :func:`dump_trace` and required by the parser.
+TEXT_VERSION = 1
+
+_KIND_TAGS = {
+    "F": TAG_FETCH,
+    "C": TAG_FETCH_CONT,
+    "R1": READ_TAGS[1], "R2": READ_TAGS[2], "R4": READ_TAGS[4],
+    "W1": WRITE_TAGS[1], "W2": WRITE_TAGS[2], "W4": WRITE_TAGS[4],
+}
+_TAG_KINDS = {tag: kind for kind, tag in _KIND_TAGS.items()}
+
+#: addr << 3 must fit the unsigned 64-bit ops array.
+_MAX_ADDR = (1 << 61) - 1
+
+
+class TraceFormatError(ValueError):
+    """An ingested trace file could not be understood."""
+
+
+def _parse_addr(text, lineno):
+    try:
+        addr = int(text, 0)
+    except ValueError:
+        raise TraceFormatError(
+            f"line {lineno}: bad address {text!r}") from None
+    if not 0 <= addr <= _MAX_ADDR:
+        raise TraceFormatError(
+            f"line {lineno}: address {text} out of range")
+    return addr
+
+
+def _parse_width(text, lineno):
+    try:
+        width = int(text, 0)
+    except ValueError:
+        raise TraceFormatError(
+            f"line {lineno}: bad access size {text!r}") from None
+    if width not in (1, 2, 4):
+        raise TraceFormatError(
+            f"line {lineno}: unsupported access size {width} "
+            "(expected 1, 2 or 4)")
+    return width
+
+
+def _finish(ops, *, base_cycles=0, instructions=None, exit_code=0,
+            console=(), spm_counts=(0,) * 8, spm_size=0):
+    op_counts = [0] * 8
+    for value in ops:
+        op_counts[value & 7] += 1
+    if instructions is None:
+        instructions = op_counts[TAG_FETCH] or len(ops)
+    return Trace(ops=ops, op_counts=tuple(op_counts),
+                 spm_counts=tuple(spm_counts), base_cycles=base_cycles,
+                 instructions=instructions, exit_code=exit_code,
+                 console=tuple(console), spm_size=spm_size)
+
+
+# -- the native exchange format ----------------------------------------------
+
+def _parse_repro(lines):
+    meta = {"base_cycles": 0, "instructions": None, "exit_code": 0,
+            "spm_size": 0}
+    spm_counts = [0] * 8
+    console = []
+    ops = array("Q")
+    saw_header = False
+    for lineno, raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].strip().split(None, 1)
+            if not parts:
+                continue
+            key, value = parts[0], (parts[1] if len(parts) > 1 else "")
+            if key == "repro-trace":
+                if value.split() and value.split()[0] != str(TEXT_VERSION):
+                    raise TraceFormatError(
+                        f"line {lineno}: unsupported trace text version "
+                        f"{value!r} (this reader speaks {TEXT_VERSION})")
+                saw_header = True
+            elif key in ("base_cycles", "instructions", "exit_code",
+                         "spm_size"):
+                try:
+                    meta[key] = int(value)
+                except ValueError:
+                    raise TraceFormatError(
+                        f"line {lineno}: bad {key} value "
+                        f"{value!r}") from None
+            elif key == "spm_counts":
+                fields = value.split()
+                if len(fields) != 8:
+                    raise TraceFormatError(
+                        f"line {lineno}: spm_counts needs 8 fields, "
+                        f"got {len(fields)}")
+                try:
+                    spm_counts = [int(field) for field in fields]
+                except ValueError:
+                    raise TraceFormatError(
+                        f"line {lineno}: bad spm_counts "
+                        f"{value!r}") from None
+            elif key == "console":
+                try:
+                    console.append(json.loads(value))
+                except ValueError:
+                    raise TraceFormatError(
+                        f"line {lineno}: bad console entry "
+                        f"{value!r}") from None
+            # Unknown comment keys are ignored (forward compatibility).
+            continue
+        if not saw_header:
+            raise TraceFormatError(
+                f"line {lineno}: record before the '# repro-trace' header")
+        fields = line.split()
+        if len(fields) != 2:
+            raise TraceFormatError(
+                f"line {lineno}: expected '<kind> <addr>', got {line!r}")
+        tag = _KIND_TAGS.get(fields[0])
+        if tag is None:
+            raise TraceFormatError(
+                f"line {lineno}: unknown access kind {fields[0]!r}")
+        ops.append((_parse_addr(fields[1], lineno) << 3) | tag)
+    if not saw_header:
+        raise TraceFormatError("missing '# repro-trace' header")
+    return _finish(ops, base_cycles=meta["base_cycles"],
+                   instructions=meta["instructions"],
+                   exit_code=meta["exit_code"], console=console,
+                   spm_counts=spm_counts, spm_size=meta["spm_size"])
+
+
+# -- foreign formats ----------------------------------------------------------
+
+def _parse_pin(lines):
+    """``<ip>: <R|W> <addr> [size]`` pinatrace-style records."""
+    ops = array("Q")
+    fetches = 0
+    last_ip = None
+    for lineno, raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("//"):
+            continue
+        head, sep, rest = line.partition(":")
+        if not sep:
+            raise TraceFormatError(
+                f"line {lineno}: expected '<ip>: <R|W> <addr>', "
+                f"got {line!r}")
+        ip = _parse_addr(head.strip(), lineno)
+        fields = rest.split()
+        if len(fields) not in (2, 3):
+            raise TraceFormatError(
+                f"line {lineno}: expected '<R|W> <addr> [size]', "
+                f"got {rest.strip()!r}")
+        kind = fields[0].upper()
+        if kind not in ("R", "W"):
+            raise TraceFormatError(
+                f"line {lineno}: unknown access kind {fields[0]!r} "
+                "(expected R or W)")
+        addr = _parse_addr(fields[1], lineno)
+        width = _parse_width(fields[2], lineno) if len(fields) == 3 else 4
+        if ip != last_ip:
+            ops.append((ip << 3) | TAG_FETCH)
+            fetches += 1
+            last_ip = ip
+        tags = READ_TAGS if kind == "R" else WRITE_TAGS
+        ops.append((addr << 3) | tags[width])
+    return _finish(ops, instructions=fetches or None)
+
+
+def _parse_predicmem(lines):
+    """``ip,addr`` CSV records (PredicMem23-style memory-access streams)."""
+    ops = array("Q")
+    fetches = 0
+    last_ip = None
+    for lineno, raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("//"):
+            continue
+        fields = [f for f in line.replace(";", ",").split(",") if f.strip()]
+        if len(fields) != 2:
+            raise TraceFormatError(
+                f"line {lineno}: expected '<ip>,<addr>', got {line!r}")
+        ip = _parse_addr(fields[0].strip(), lineno)
+        addr = _parse_addr(fields[1].strip(), lineno)
+        if ip != last_ip:
+            ops.append((ip << 3) | TAG_FETCH)
+            fetches += 1
+            last_ip = ip
+        ops.append((addr << 3) | READ_TAGS[4])
+    return _finish(ops, instructions=fetches or None)
+
+
+_PARSERS = {"repro": _parse_repro, "pin": _parse_pin,
+            "predicmem": _parse_predicmem}
+
+
+def _sniff(first_line: str) -> str:
+    line = first_line.strip()
+    if line.startswith("#"):
+        if line[1:].strip().startswith("repro-trace"):
+            return "repro"
+        raise TraceFormatError(
+            "cannot auto-detect trace format from leading comment "
+            f"{line!r}; pass fmt= explicitly")
+    if ":" in line:
+        return "pin"
+    if "," in line or ";" in line:
+        return "predicmem"
+    raise TraceFormatError(
+        f"cannot auto-detect trace format from first line {line!r}; "
+        "expected a '# repro-trace' header, '<ip>: <R|W> <addr>' or "
+        "'<ip>,<addr>' records")
+
+
+def parse_trace(lines, fmt: str = "auto") -> Trace:
+    """Parse an iterable of text lines into a :class:`Trace`."""
+    if fmt not in ("auto",) and fmt not in _PARSERS:
+        raise TraceFormatError(
+            f"unknown trace format {fmt!r}; "
+            f"expected one of {sorted(_PARSERS)} or 'auto'")
+    numbered = []
+    for lineno, raw in enumerate(lines, start=1):
+        numbered.append((lineno, raw))
+    stripped = [(n, line) for n, line in numbered if line.strip()]
+    if not stripped:
+        raise TraceFormatError("empty trace input")
+    if fmt == "auto":
+        fmt = _sniff(stripped[0][1])
+    return _PARSERS[fmt](numbered)
+
+
+def load_trace(path, fmt: str = "auto") -> Trace:
+    """Read *path* (plain text, or gzip when it ends in ``.gz``)."""
+    opener = gzip.open if str(path).endswith(".gz") else open
+    try:
+        with opener(path, "rt") as handle:
+            return parse_trace(handle, fmt)
+    except (OSError, UnicodeDecodeError, EOFError) as error:
+        raise TraceFormatError(f"cannot read trace {path}: {error}") \
+            from error
+
+
+def dump_trace(trace: Trace, handle) -> None:
+    """Write *trace* in the native text format to a file object.
+
+    Everything a :class:`Trace` holds is preserved, so
+    ``parse_trace(...)`` of the output reconstructs an identical trace
+    (the round-trip property the ingestion tests pin down).
+    """
+    write = handle.write
+    write(f"# repro-trace {TEXT_VERSION}\n")
+    write(f"# base_cycles {trace.base_cycles}\n")
+    write(f"# instructions {trace.instructions}\n")
+    write(f"# exit_code {trace.exit_code}\n")
+    write(f"# spm_size {trace.spm_size}\n")
+    write("# spm_counts " + " ".join(
+        str(count) for count in trace.spm_counts) + "\n")
+    for entry in trace.console:
+        write(f"# console {json.dumps(entry)}\n")
+    kinds = _TAG_KINDS
+    for value in trace.ops:
+        write(f"{kinds[value & 7]} {value >> 3:#x}\n")
+
+
+def save_trace(trace: Trace, path) -> None:
+    """Write *trace* to *path* (gzip-compressed when it ends in ``.gz``)."""
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "wt") as handle:
+        dump_trace(trace, handle)

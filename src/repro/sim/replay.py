@@ -71,8 +71,8 @@ def _fixed_cycles(trace: Trace, hierarchy: MemoryHierarchy,
     for tag in (4, 5, 6):  # writes: main cost at any depth
         if counts[tag]:
             total += counts[tag] * main_out[TAG_WIDTH[tag]].cycles
-    if fetches_fixed and counts[0]:
-        total += counts[0] * main_out[2].cycles
+    if fetches_fixed and (counts[0] or counts[7]):
+        total += (counts[0] + counts[7]) * main_out[2].cycles
     if reads_fixed:
         for tag in (1, 2, 3):
             if counts[tag]:
@@ -130,7 +130,7 @@ def _walk_unified_dm(trace: Trace, hierarchy: MemoryHierarchy) -> int:
         tag = value & 7
         block = (value >> 3) // line
         ways = sets[block % nsets]
-        if tag == 0:
+        if tag == 0 or tag == 7:
             if ways and ways[0] == block:
                 counts[0] += 1
                 cycles += f_hit
@@ -170,7 +170,8 @@ def _walk_fetch_dm(trace: Trace, hierarchy: MemoryHierarchy) -> int:
     f_hit, f_miss = (out.cycles for out in hierarchy._fetch_out)
     cycles = 0
     for value in trace.ops:
-        if value & 7:
+        tag = value & 7
+        if tag and tag != 7:
             continue
         block = (value >> 3) // line
         ways = sets[block % nsets]
@@ -204,7 +205,7 @@ def _walk_generic(trace: Trace, hierarchy: MemoryHierarchy) -> int:
     for value in trace.ops:
         tag = value & 7
         addr = value >> 3
-        if tag == 0:
+        if tag == 0 or tag == 7:
             if not fts:
                 continue  # priced by _fixed_cycles
             depth = 0
@@ -229,6 +230,74 @@ def _walk_generic(trace: Trace, hierarchy: MemoryHierarchy) -> int:
                 block = addr // line
                 touch(block, block % nsets)
     return cycles
+
+
+def replay_misses(trace: Trace, config: SystemConfig,
+                  max_steps: int = 50_000_000):
+    """Per-pc fetch-miss counters served from the trace, no re-execution.
+
+    Returns ``(fetch_misses, fetch_main_misses)`` — instruction address
+    -> miss count dicts matching the recording engine's attribution
+    exactly (``simulate(..., record_misses=True)``): both halfword
+    fetches of a 32-bit instruction attribute to the instruction's pc
+    (continuation entries carry :data:`~repro.sim.trace.TAG_FETCH_CONT`
+    and name ``pc + 2``), and one execution of an instruction counts at
+    most once per counter however many of its halfwords missed.
+
+    The walk touches the full fetch *and* data pipelines: on unified
+    levels, data traffic moves the very tags fetch misses depend on.
+    """
+    _check_budget(trace, max_steps)
+    _check_spm(trace, config)
+    hierarchy = MemoryHierarchy(config)
+    fts = tuple(
+        (hierarchy._make_touch(c, 0), c.config.line_size,
+         c.config.num_sets) for c in hierarchy._fetch_chain)
+    dts = tuple(
+        (hierarchy._make_touch(c, 2), c.config.line_size,
+         c.config.num_sets) for c in hierarchy._data_chain)
+    wts = tuple(
+        (hierarchy._make_write_touch(c), c.config.line_size,
+         c.config.num_sets) for c in hierarchy._data_chain)
+    main_depth = len(fts)
+    fetch_misses = {}
+    fetch_main_misses = {}
+    counted = counted_main = True  # until the first tag-0 fetch
+    pc = None
+    for value in trace.ops:
+        tag = value & 7
+        addr = value >> 3
+        if tag == 0 or tag == 7:
+            if tag == 0:
+                pc = addr
+                counted = counted_main = False
+            if not fts:
+                continue  # no fetch caches: misses cannot happen
+            depth = 0
+            for touch, line, nsets in fts:
+                block = addr // line
+                if touch(block, block % nsets):
+                    break
+                depth += 1
+            if depth:
+                if not counted:
+                    counted = True
+                    fetch_misses[pc] = fetch_misses.get(pc, 0) + 1
+                if depth == main_depth and not counted_main:
+                    counted_main = True
+                    fetch_main_misses[pc] = \
+                        fetch_main_misses.get(pc, 0) + 1
+        elif tag < 4:
+            for touch, line, nsets in dts:
+                block = addr // line
+                if touch(block, block % nsets):
+                    break
+        else:
+            for touch, line, nsets in wts:
+                block = addr // line
+                touch(block, block % nsets)
+    COUNTERS["miss_replays"] += 1
+    return fetch_misses, fetch_main_misses
 
 
 # -- single-pass size sweeps -------------------------------------------------
@@ -328,6 +397,8 @@ def _sweep_walk(ops, tables, line, unified):
     prev = -1
     for value in ops:
         tag = value & 7
+        if tag == 7:
+            tag = 0  # continuation fetches price like plain fetches
         if tag and not unified:
             continue  # instruction cache: data bypasses every size
         block = (value >> 3) // line

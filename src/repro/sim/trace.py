@@ -20,7 +20,13 @@ Contents, packed for tight replay loops:
 * ``ops`` — the interleaved fetch/read/write stream of every access that
   reaches the cache pipeline, one ``array('Q')`` word per access:
   ``addr << 3 | tag`` with the tag encoding kind and width (fetches are
-  always 2 bytes wide, so one tag suffices for them);
+  always 2 bytes wide, so one tag suffices for them).  The second
+  halfword of a 32-bit instruction (BL) carries its own tag
+  (:data:`TAG_FETCH_CONT`), so every fetch entry names the pc of the
+  instruction it belongs to — ``addr`` for plain fetches, ``addr - 2``
+  for continuations — and replay kernels can attribute misses per
+  instruction exactly like the recording engine does
+  (:func:`~repro.sim.replay.replay_misses`);
 * ``op_counts`` / ``spm_counts`` — per-tag totals of the main-memory
   stream and of the SPM-resident accesses.  SPM hits bypass every cache
   level and cost a fixed per-width amount, so they never need to be
@@ -53,13 +59,21 @@ from .simulator import MemoryFault, SimError, Simulator
 TAG_FETCH = 0
 READ_TAGS = {1: 1, 2: 2, 4: 3}
 WRITE_TAGS = {1: 4, 2: 5, 4: 6}
+#: Fetch of the second halfword of a 32-bit instruction; the owning
+#: instruction's pc is ``addr - 2``.  Priced exactly like TAG_FETCH.
+TAG_FETCH_CONT = 7
+
+#: Tags priced as instruction fetches (16-bit wide).
+FETCH_TAGS = (TAG_FETCH, TAG_FETCH_CONT)
 
 #: tag -> access width in bytes (fetches are 16-bit).
-TAG_WIDTH = (2, 1, 2, 4, 1, 2, 4)
+TAG_WIDTH = (2, 1, 2, 4, 1, 2, 4, 2)
 
 #: Bump when the trace layout or recording semantics change: stale
 #: on-disk entries then miss instead of corrupting replays.
-_TRACE_VERSION = "trace-1"
+#: trace-2: continuation fetches carry TAG_FETCH_CONT and the per-tag
+#: count tuples grew to 8 entries.
+_TRACE_VERSION = "trace-2"
 
 COUNTERS = {
     "trace_hits": 0,
@@ -67,6 +81,7 @@ COUNTERS = {
     "trace_disk_hits": 0,
     "trace_records": 0,
     "replay_runs": 0,
+    "miss_replays": 0,
     "sweep_passes": 0,
     "sweep_points": 0,
 }
@@ -100,7 +115,7 @@ class Trace:
     def counts_by_kind(self):
         """``(fetches, reads, writes)`` over the whole stream."""
         totals = [a + b for a, b in zip(self.op_counts, self.spm_counts)]
-        return (totals[0], sum(totals[1:4]), sum(totals[4:7]))
+        return (totals[0] + totals[7], sum(totals[1:4]), sum(totals[4:7]))
 
 
 class _TraceTap:
@@ -113,23 +128,26 @@ class _TraceTap:
     exactly the config-independent base: refills and execute extras.
     """
 
-    def __init__(self, spm_end: int):
+    def __init__(self, spm_end: int, cont_addrs=frozenset()):
         self.spm_end = spm_end
+        self.cont_addrs = cont_addrs
         self.ops = array("Q")
-        self.spm_counts = [0] * 7
+        self.spm_counts = [0] * 8
 
     def fetch_fast_factory(self):
         spm_end = self.spm_end
+        cont_addrs = self.cont_addrs
         append = self.ops.append
         spm_counts = self.spm_counts
 
         def make(addr):
+            tag = TAG_FETCH_CONT if addr in cont_addrs else TAG_FETCH
             if 0 <= addr < spm_end:
                 def fetch():
-                    spm_counts[TAG_FETCH] += 1
+                    spm_counts[tag] += 1
                     return 0
                 return fetch
-            packed = addr << 3  # | TAG_FETCH (== 0)
+            packed = (addr << 3) | tag
 
             def fetch():
                 append(packed)
@@ -174,14 +192,16 @@ def record_trace(image, spm_size: int = None,
     config = (SystemConfig.scratchpad(spm_size) if spm_size
               else SystemConfig.uncached())
     sim = Simulator(image, config)
-    tap = _TraceTap(spm_size)
+    cont_addrs = frozenset(addr + 2 for addr, instr in sim.code.items()
+                           if instr.size == 4)
+    tap = _TraceTap(spm_size, cont_addrs)
     program = compile_program(sim.code, sim.ram, tap, sim.regs,
                               sim._spm_limit, SimError, MemoryFault)
     regs = sim.regs
     regs[13] = STACK_TOP
     regs[14] = 0
     base_cycles, steps, exit_code = program.run(image.entry, max_steps)
-    op_counts = [0] * 7
+    op_counts = [0] * 8
     for value in tap.ops:
         op_counts[value & 7] += 1
     COUNTERS["trace_records"] += 1

@@ -1,73 +1,26 @@
 """Soundness fuzzing: random structured programs, WCET >= simulation.
 
-Hypothesis generates random (but always-terminating) mini-C programs out
-of counted loops, branches on data, global-array traffic and helper
-calls; for each program and each memory system the analysed WCET bound
-must dominate the simulated cycle count.  This hunts for disagreements
-between the simulator's and the analyser's view of the machine — the
-class of bug that silently breaks the paper's entire methodology.
+Hypothesis generates random (but always-terminating) mini-C programs —
+the strategies live in :mod:`repro.gen.strategies`, shared with the
+rest of the fuzzing stack — and for each program and each memory system
+the analysed WCET bound must dominate the simulated cycle count.  This
+hunts for disagreements between the simulator's and the analyser's view
+of the machine — the class of bug that silently breaks the paper's
+entire methodology.
+
+This is the shrinking tier: small example budgets, minimal
+counterexamples.  The bulk sweep over thousands of seeded programs is
+the ``fuzz``-marked tier (``tests/test_fuzz_generated.py``).
 """
 
 from hypothesis import given, settings, strategies as st
 
+from repro.gen.strategies import random_program
 from repro.link import link
 from repro.memory import CacheConfig, SystemConfig
 from repro.minic import compile_source
 from repro.sim import simulate
 from repro.wcet import analyze_wcet
-
-
-@st.composite
-def statement(draw, depth, names):
-    kind = draw(st.sampled_from(
-        ["assign", "array", "if", "loop"] if depth < 2
-        else ["assign", "array"]))
-    if kind == "assign":
-        target = draw(st.sampled_from(names))
-        source = draw(st.sampled_from(names))
-        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
-        constant = draw(st.integers(0, 200))
-        return f"{target} = {target} {op} ({source} + {constant});"
-    if kind == "array":
-        index = draw(st.integers(0, 15))
-        target = draw(st.sampled_from(names))
-        if draw(st.booleans()):
-            return f"buffer[{index}] = {target};"
-        return f"{target} = {target} + buffer[({target} & 15)];"
-    if kind == "if":
-        condition_var = draw(st.sampled_from(names))
-        threshold = draw(st.integers(0, 100))
-        then = draw(statement(depth + 1, names))
-        other = draw(statement(depth + 1, names))
-        return (f"if (({condition_var} & 255) < {threshold}) "
-                f"{{ {then} }} else {{ {other} }}")
-    # counted loop (auto-bounded by the compiler); one loop variable per
-    # nesting depth so inner loops never clobber an outer counter.
-    count = draw(st.integers(1, 6))
-    body = draw(statement(depth + 1, names))
-    return (f"for (loop_i{depth} = 0; loop_i{depth} < {count}; "
-            f"loop_i{depth}++) {{ {body} }}")
-
-
-@st.composite
-def random_program(draw):
-    names = ["va", "vb", "vc"]
-    seeds = [draw(st.integers(0, 10000)) for _ in names]
-    body = "\n    ".join(
-        draw(statement(0, names)) for _ in range(draw(st.integers(2, 6))))
-    decls = "\n    ".join(
-        f"int {name} = {seed};" for name, seed in zip(names, seeds))
-    return f"""
-int buffer[16];
-int main(void) {{
-    int loop_i0;
-    int loop_i1;
-    int loop_i2;
-    {decls}
-    {body}
-    return (va + vb + vc) & 255;
-}}
-"""
 
 
 CONFIGS = [
@@ -77,7 +30,7 @@ CONFIGS = [
 ]
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=50, deadline=None)
 @given(random_program())
 def test_wcet_dominates_simulation(source):
     image = link(compile_source(source).program)
@@ -92,7 +45,7 @@ def test_wcet_dominates_simulation(source):
         assert sim.exit_code == results[0].exit_code
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=25, deadline=None)
 @given(random_program(), st.integers(64, 512))
 def test_spm_placement_sound_and_value_preserving(source, spm_size):
     compiled = compile_source(source)
