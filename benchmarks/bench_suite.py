@@ -8,10 +8,14 @@ writes one JSON artefact per engine, next to this file:
   :mod:`bench_hierarchy`), plus the speedup factor versus the committed
   ``BENCH_hierarchy.json`` trajectory baseline.  Each config also gets
   a ``<label> (replay)`` row — re-pricing the recorded trace instead of
-  re-executing — alongside a one-off ``trace-record`` row and a
+  re-executing — alongside a one-off ``trace-record`` row, a
   ``sweep-x8 (replay)`` row for the single-pass Mattson kernel serving
   all eight paper cache sizes at once (its throughput counts the
-  trace's instructions once per size served);
+  trace's instructions once per size served), a
+  ``geometry-grid (replay)`` row pricing a 32-point
+  (size × associativity) instruction-cache grid in one pass (asserted
+  equal to per-point replay), and a ``trace-rle-load`` row unpickling
+  the run-length-encoded trace and expanding its ops;
 * ``BENCH_wcet.json`` — wall seconds for a whole-program WCET analysis
   on every hierarchy shape × {g721, adpcm, multisort} point, plus the
   computed bound (so an accidental semantic change shows up in review).
@@ -50,7 +54,10 @@ from repro.benchmarks import get
 from repro.link import link
 from repro.memory import CacheConfig, SystemConfig
 from repro.minic import compile_source
-from repro.sim import record_trace, replay, replay_sweep, simulate
+import pickle
+
+from repro.sim import (record_trace, replay, replay_grid, replay_sweep,
+                       simulate)
 from repro.wcet.analyzer import analyze_wcet, clear_analysis_caches
 from repro.workflow import PAPER_SIZES
 
@@ -184,6 +191,31 @@ def bench_simulator(rounds=3) -> dict:
         "seconds": round(seconds, 4),
         "instructions_per_sec": round(
             trace.instructions * len(results) / seconds),
+    }
+    grid_configs = [
+        SystemConfig.cached(CacheConfig(size=size, assoc=assoc,
+                                        unified=False))
+        for size in (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+        for assoc in (1, 2, 4, 8)]
+    seconds, results = _best_of_scaled(
+        rounds, lambda: replay_grid(trace, grid_configs))
+    for config, result in zip(grid_configs, results):
+        assert result.cycles == replay(trace, config).cycles, config
+    report["geometry-grid (replay)"] = {
+        "points": len(results),
+        "seconds": round(seconds, 4),
+        "instructions_per_sec": round(
+            trace.instructions * len(results) / seconds),
+    }
+    payload = pickle.dumps(trace)
+    seconds, expanded = _best_of_scaled(
+        rounds, lambda: len(pickle.loads(payload).ops))
+    assert expanded == trace.accesses
+    report["trace-rle-load"] = {
+        "ops_bytes": trace.accesses * 8,
+        "rle_bytes": len(payload),
+        "seconds": round(seconds, 6),
+        "instructions_per_sec": round(trace.instructions / seconds),
     }
     return report
 

@@ -12,6 +12,8 @@ Subcommands (all take a mini-C source file):
 * ``ingest``     — parse a foreign address trace (Pin ``pinatrace`` /
   PredicMem-style CSV / the ``trace --export`` format) and price it
   under any modelled hierarchy, or ``--sweep`` cache sizes in one pass
+* ``sweep``      — record the trace once and price a full
+  (size × associativity) cache-geometry grid in one replay pass
 * ``gen``        — the seeded workload generator (same as ``repro-gen``)
 * ``wcet``       — static WCET analysis; print the per-function report
 * ``compare``    — the paper's experiment on one program: sim vs. WCET
@@ -31,6 +33,7 @@ Memory-system options shared by all subcommands::
 Examples::
 
     repro-cc run task.c --spm 1024
+    repro-cc sweep task.c --sizes 128,256,512,1024 --assoc 1,2,4
     repro-cc wcet task.c --cache 512 --persistence
     repro-cc compare task.c --spm 512
     repro-cc compare task.c --cache 256 --l2 2048
@@ -89,6 +92,24 @@ def _add_memory_options(parser):
     parser.add_argument("--hybrid", action="store_true",
                         help="scratchpad with the cache behind it "
                              "(allows --spm together with --cache)")
+
+
+def _add_kernel_option(parser):
+    parser.add_argument("--kernel", choices=("auto", "scalar", "numpy"),
+                        default=None,
+                        help="replay backend (default: auto — numpy "
+                             "when importable; also via "
+                             "REPRO_REPLAY_KERNEL)")
+
+
+def _apply_kernel(args):
+    if getattr(args, "kernel", None) is None:
+        return
+    from .sim import kernels
+    try:
+        kernels.set_kernel(args.kernel)
+    except RuntimeError as error:
+        raise SystemExit(f"--kernel: {error}") from None
 
 
 def _config_for(args) -> SystemConfig:
@@ -223,8 +244,19 @@ def cmd_trace(args):
         print(f"# exported {len(trace.ops)} records to {args.export}")
     _print_trace_summary(trace, config.describe())
     if args.profile:
+        # One replay under the requested hierarchy, so the counters
+        # show which kernel (scalar/numpy) served it.
+        from .sim.replay import replay
+        before = dict(trace_counters())
+        replay(trace, config)
+        after = trace_counters()
+        served = [key for key in ("replay_numpy", "replay_scalar",
+                                  "sweep_numpy", "sweep_scalar",
+                                  "grid_numpy", "grid_scalar")
+                  if after[key] > before.get(key, 0)]
+        print(f"# replay served by: {', '.join(served) or 'cache'}")
         print("# trace counters:")
-        for key, value in sorted(trace_counters().items()):
+        for key, value in sorted(after.items()):
             print(f"#   {key:16} {value:>8}")
     return 0
 
@@ -257,6 +289,57 @@ def cmd_ingest(args):
     return 0
 
 
+
+
+def cmd_sweep(args):
+    """Price a whole (size × associativity) cache grid in one pass."""
+    from .sim.replay import replay_grid
+    from .sim.trace import trace_counters, trace_for
+    with open(args.source) as handle:
+        compiled = compile_source(handle.read(), entry=args.entry)
+    image = link(compiled.program)
+    try:
+        sizes = [int(field) for field in args.sizes.split(",")]
+        assocs = [int(field) for field in args.assoc.split(",")]
+    except ValueError:
+        raise SystemExit("sweep: --sizes/--assoc take comma-separated "
+                         "integers") from None
+    grid, skipped = [], []
+    for size in sizes:
+        for assoc in assocs:
+            if size >= args.line * assoc:
+                grid.append(SystemConfig.cached(CacheConfig(
+                    size=size, line_size=args.line, assoc=assoc,
+                    unified=not args.icache)))
+            else:
+                skipped.append((size, assoc))
+    trace = trace_for(image, 0)
+    before = dict(trace_counters())
+    try:
+        results = replay_grid(trace, grid)
+    except (ValueError, SimError) as error:
+        raise SystemExit(f"sweep: {error}") from None
+    cycles = {(cfg.cache.size, cfg.cache.assoc): result.cycles
+              for cfg, result in zip(grid, results)}
+    side = "instruction" if args.icache else "unified"
+    print(f"# {side} cache grid, {args.line}-byte lines, "
+          f"{len(grid)} points in one pass")
+    header = "".join(f"{f'assoc={a}':>14}" for a in assocs)
+    print(f"# {'size':>7}{header}")
+    for size in sizes:
+        cells = "".join(
+            f"{cycles[(size, assoc)]:>14}" if (size, assoc) in cycles
+            else f"{'-':>14}" for assoc in assocs)
+        print(f"# {size:>6}B{cells}")
+    for size, assoc in skipped:
+        print(f"# skipped {size}B assoc={assoc}: fewer than one set")
+    after = trace_counters()
+    served = [key for key in ("grid_numpy", "grid_scalar",
+                              "sweep_numpy", "sweep_scalar",
+                              "replay_numpy", "replay_scalar")
+              if after[key] > before.get(key, 0)]
+    print(f"# kernel: {', '.join(served) or 'cached'}")
+    return 0
 
 
 def cmd_wcet(args):
@@ -363,6 +446,7 @@ def main(argv=None) -> int:
                 default="execute",
                 help="execute the program, or record its access trace "
                      "and replay it (bit-identical results)")
+            _add_kernel_option(command)
         if name == "trace":
             command.add_argument(
                 "--profile", action="store_true",
@@ -372,6 +456,7 @@ def main(argv=None) -> int:
                 "--export", metavar="FILE",
                 help="also write the trace in the portable text "
                      "format (gzip when FILE ends in .gz)")
+            _add_kernel_option(command)
         if name == "wcet":
             command.add_argument(
                 "--profile", action="store_true",
@@ -390,12 +475,30 @@ def main(argv=None) -> int:
                         help="comma-separated cache sizes: price them "
                              "all in one single-pass replay")
     _add_memory_options(ingest)
+    _add_kernel_option(ingest)
     ingest.set_defaults(func=cmd_ingest)
+
+    sweep = sub.add_parser(
+        "sweep", help="price a (size × associativity) cache-geometry "
+                      "grid in one single-pass replay")
+    _add_source_option(sweep)
+    sweep.add_argument("--sizes",
+                       default="64,128,256,512,1024,2048,4096,8192",
+                       help="comma-separated cache sizes in bytes")
+    sweep.add_argument("--assoc", default="1,2,4,8",
+                       help="comma-separated associativities")
+    sweep.add_argument("--line", type=int, default=16,
+                       help="cache line size in bytes (default 16)")
+    sweep.add_argument("--icache", action="store_true",
+                       help="instruction-only grid (data bypasses)")
+    _add_kernel_option(sweep)
+    sweep.set_defaults(func=cmd_sweep)
 
     sub.add_parser("gen", add_help=False,
                    help="seeded mini-C workload generator (repro-gen)")
 
     args = parser.parse_args(argv)
+    _apply_kernel(args)
     return args.func(args)
 
 

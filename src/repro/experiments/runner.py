@@ -33,6 +33,7 @@ from . import (
     fig4_ratio_g721,
     fig5_ratio_multisort,
     fig6_adpcm,
+    geometry_grid,
     table1,
     table2,
     xtra_worstcase_sort,
@@ -51,6 +52,7 @@ EXPERIMENTS = {
     "ablation_multilevel": ablation_multilevel.run,
     "ablation_persistence": ablation_persistence.run,
     "ablation_wcet_alloc": ablation_wcet_alloc.run,
+    "geometry_grid": geometry_grid.run,
 }
 
 

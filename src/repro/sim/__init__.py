@@ -12,7 +12,15 @@ Two complementary paths produce bit-identical results:
 
 from .simulator import MemoryFault, SimError, SimResult, Simulator, simulate
 from .profile import ObjectProfile, ProgramProfile, build_profile
-from .replay import replay, replay_misses, replay_sweep, sweep_geometry
+from .kernels import active_kernel, have_numpy, set_kernel
+from .replay import (
+    grid_geometry,
+    replay,
+    replay_grid,
+    replay_misses,
+    replay_sweep,
+    sweep_geometry,
+)
 from .trace import (
     Trace,
     clear_trace_caches,
@@ -26,7 +34,9 @@ from .ingest import TraceFormatError, dump_trace, load_trace, parse_trace
 __all__ = [
     "MemoryFault", "SimError", "SimResult", "Simulator", "simulate",
     "ObjectProfile", "ProgramProfile", "build_profile",
-    "replay", "replay_misses", "replay_sweep", "sweep_geometry",
+    "active_kernel", "have_numpy", "set_kernel",
+    "grid_geometry", "replay", "replay_grid", "replay_misses",
+    "replay_sweep", "sweep_geometry",
     "Trace", "clear_trace_caches", "record_trace", "set_trace_cache_dir",
     "trace_counters", "trace_for",
     "TraceFormatError", "dump_trace", "load_trace", "parse_trace",

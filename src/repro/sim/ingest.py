@@ -13,24 +13,27 @@ non-blank line):
 
 ``repro`` — the native exchange format :func:`dump_trace` writes::
 
-    # repro-trace 1
+    # repro-trace 3
     # base_cycles 8261
     # instructions 2104
     # exit_code 42
     # spm_size 0
     # spm_counts 0 0 0 0 0 0 0 0
     # console "17"
-    F 0x40000000
-    C 0x40000002
+    F 0x40000000 x24 s2
     R4 0x40001000
-    W2 0x40001004
+    W2 0x40001004 x3
 
-  One record per access: ``F`` instruction fetch, ``C`` continuation
-  fetch (second halfword of a 32-bit instruction), ``R<w>``/``W<w>``
-  data read/write of width ``w`` in {1, 2, 4} bytes.  Metadata headers
-  carry everything else a :class:`Trace` holds, so a dump → ingest
-  round trip reproduces the recorded trace bit for bit and replays
-  identically to the original.
+  One record per access *run*: ``F`` instruction fetch, ``C``
+  continuation fetch (second halfword of a 32-bit instruction),
+  ``R<w>``/``W<w>`` data read/write of width ``w`` in {1, 2, 4} bytes.
+  An optional ``x<count>`` repeats the access *count* times and an
+  optional ``s2`` strides the address by 2 bytes per repeat (version 3,
+  the trace's line-granular run-length encoding; straight-line fetch
+  runs dominate real streams).  Version-1 files — one plain record per
+  access — are still read.  Metadata headers carry everything else a
+  :class:`Trace` holds, so a dump → ingest round trip reproduces the
+  recorded trace bit for bit and replays identically to the original.
 
 ``pin`` — Pin ``pinatrace``-style lines::
 
@@ -63,8 +66,11 @@ from array import array
 
 from .trace import READ_TAGS, TAG_FETCH, TAG_FETCH_CONT, Trace, WRITE_TAGS
 
-#: Version written by :func:`dump_trace` and required by the parser.
-TEXT_VERSION = 1
+#: Version written by :func:`dump_trace`.
+TEXT_VERSION = 3
+
+#: Versions :func:`parse_trace` accepts (3 added the run records).
+_READ_VERSIONS = ("1", "3")
 
 _KIND_TAGS = {
     "F": TAG_FETCH,
@@ -107,6 +113,27 @@ def _parse_width(text, lineno):
     return width
 
 
+def _parse_run(extras, lineno):
+    """``(count, stride?)`` from a record's optional run fields."""
+    count, stride = 1, False
+    for field in extras:
+        if field.startswith("x"):
+            try:
+                count = int(field[1:])
+            except ValueError:
+                count = 0
+            if count < 1:
+                raise TraceFormatError(
+                    f"line {lineno}: bad run count {field!r}")
+        elif field == "s2":
+            stride = True
+        else:
+            raise TraceFormatError(
+                f"line {lineno}: unknown run field {field!r} "
+                "(expected x<count> or s2)")
+    return count, stride
+
+
 def _finish(ops, *, base_cycles=0, instructions=None, exit_code=0,
             console=(), spm_counts=(0,) * 8, spm_size=0):
     op_counts = [0] * 8
@@ -139,10 +166,11 @@ def _parse_repro(lines):
                 continue
             key, value = parts[0], (parts[1] if len(parts) > 1 else "")
             if key == "repro-trace":
-                if value.split() and value.split()[0] != str(TEXT_VERSION):
+                if value.split() and value.split()[0] not in _READ_VERSIONS:
                     raise TraceFormatError(
                         f"line {lineno}: unsupported trace text version "
-                        f"{value!r} (this reader speaks {TEXT_VERSION})")
+                        f"{value!r} (this reader speaks "
+                        f"{', '.join(_READ_VERSIONS)})")
                 saw_header = True
             elif key in ("base_cycles", "instructions", "exit_code",
                          "spm_size"):
@@ -177,14 +205,25 @@ def _parse_repro(lines):
             raise TraceFormatError(
                 f"line {lineno}: record before the '# repro-trace' header")
         fields = line.split()
-        if len(fields) != 2:
+        if not 2 <= len(fields) <= 4:
             raise TraceFormatError(
-                f"line {lineno}: expected '<kind> <addr>', got {line!r}")
+                f"line {lineno}: expected '<kind> <addr> [x<count>] "
+                f"[s2]', got {line!r}")
         tag = _KIND_TAGS.get(fields[0])
         if tag is None:
             raise TraceFormatError(
                 f"line {lineno}: unknown access kind {fields[0]!r}")
-        ops.append((_parse_addr(fields[1], lineno) << 3) | tag)
+        value = (_parse_addr(fields[1], lineno) << 3) | tag
+        count, stride = _parse_run(fields[2:], lineno)
+        if count == 1:
+            ops.append(value)
+        elif stride:
+            if (value >> 3) + 2 * (count - 1) > _MAX_ADDR:
+                raise TraceFormatError(
+                    f"line {lineno}: strided run ends out of range")
+            ops.extend(range(value, value + count * 16, 16))
+        else:
+            ops.extend([value] * count)
     if not saw_header:
         raise TraceFormatError("missing '# repro-trace' header")
     return _finish(ops, base_cycles=meta["base_cycles"],
@@ -309,7 +348,9 @@ def dump_trace(trace: Trace, handle) -> None:
 
     Everything a :class:`Trace` holds is preserved, so
     ``parse_trace(...)`` of the output reconstructs an identical trace
-    (the round-trip property the ingestion tests pin down).
+    (the round-trip property the ingestion tests pin down).  Records
+    use the version-3 run form: one line per run of the trace's
+    run-length encoding.
     """
     write = handle.write
     write(f"# repro-trace {TEXT_VERSION}\n")
@@ -322,8 +363,14 @@ def dump_trace(trace: Trace, handle) -> None:
     for entry in trace.console:
         write(f"# console {json.dumps(entry)}\n")
     kinds = _TAG_KINDS
-    for value in trace.ops:
-        write(f"{kinds[value & 7]} {value >> 3:#x}\n")
+    for value, count, stride in trace.iter_runs():
+        head = f"{kinds[value & 7]} {value >> 3:#x}"
+        if count == 1:
+            write(head + "\n")
+        elif stride:
+            write(f"{head} x{count} s2\n")
+        else:
+            write(f"{head} x{count}\n")
 
 
 def save_trace(trace: Trace, path) -> None:

@@ -16,7 +16,14 @@ only for the accesses that can actually change state:
   refresh/statistics;
 * on fetch-only pipelines (instruction caches) the data stream is
   skipped entirely;
-* pipelines with no caches at all reduce to pure arithmetic.
+* pipelines with no caches at all reduce to pure arithmetic over a
+  memoized per-config pricing plan — no tag arrays, no hierarchy.
+
+Each replay is served by one of two interchangeable backends
+(:mod:`repro.sim.kernels` picks, ``REPRO_REPLAY_KERNEL`` /
+``--kernel`` override): the scalar walks below, or numpy-vectorised
+passes for direct-mapped LRU pipelines.  Both are bit-identical by
+contract and by differential test.
 
 :func:`replay_sweep` goes further for the paper's bread-and-butter
 sweep: same-geometry direct-mapped LRU caches of different sizes
@@ -29,13 +36,32 @@ at once: per access, each candidate size checks/updates one last-block
 cell, and a most-recent-block shortcut skips the (dominant) runs of
 consecutive same-line accesses that hit at every size.  Writes never
 allocate, so the shared recency state stays exact across all sizes.
+
+:func:`replay_grid` generalises the sweep to full per-set Mattson stack
+distances: one pass prices an entire (size × associativity) LRU grid at
+fixed line size.  Three exactness regimes share the pass:
+
+* associativity-1 points reuse the sweep tables (write probes are
+  statistics-only there, so sharing is exact);
+* when no write ever reaches the cache (instruction-cache grids, or
+  write-free traces), all deeper points share per-set LRU stacks
+  trimmed to the deepest associativity: a hit at associativity A is a
+  stack distance < A, read off a depth histogram;
+* unified grids over traces *with* writes get exact per-point LRU
+  lists walked together in the same pass — the write-recency subtlety
+  the sweep regression tests pin down (a write hit refreshes LRU order
+  conditionally on residency, which is associativity-dependent and
+  provably cannot share one stack).
 """
 
 from __future__ import annotations
 
-from ..memory.cache import ReplacementPolicy
+from ..memory.cache import CacheStats, ReplacementPolicy
 from ..memory.hierarchy import MemoryHierarchy, SystemConfig
+from ..memory.levels import level_labels, path_geometry, serve_costs
+from ..memory.regions import RegionKind
 from ..sim.simulator import SimResult, SimError
+from . import kernels
 from .trace import COUNTERS, TAG_WIDTH, Trace
 
 
@@ -53,30 +79,120 @@ def _check_spm(trace: Trace, config: SystemConfig):
             "re-record against the matching image")
 
 
-def _fixed_cycles(trace: Trace, hierarchy: MemoryHierarchy,
+# -- per-config pricing plans -------------------------------------------------
+
+class _ReplayPlan:
+    """Immutable pricing tables of one ``(levels, timing)`` point.
+
+    Everything a replay needs that is *not* per-access state: physical
+    cache descriptors in level order, serve-cost tables per path depth,
+    and per-tag SPM/main cycle costs.  Memoized process-wide
+    (:func:`_plan_for`), so repeated replays of the same config — the
+    planner's singles, the sweep/grid pricing step, uncached baselines
+    — skip hierarchy construction entirely.
+    """
+
+    __slots__ = ("names", "caches", "fetch_order", "data_order",
+                 "fcosts", "dcosts", "spm_tag_cycles", "main_tag_cycles",
+                 "dm_chain", "kernel_caches")
+
+    def __init__(self, config: SystemConfig):
+        timing = config.timing
+        names = []
+        caches = []  # (CacheConfig, on_fetch, on_data)
+        fetch_order = []
+        data_order = []
+        for level in config.cache_level_specs:
+            labels = iter(level_labels(level))
+            if level.shared:
+                fetch_order.append(len(caches))
+                data_order.append(len(caches))
+                names.append(next(labels))
+                caches.append((level.icache, True, True))
+                continue
+            if level.icache is not None:
+                fetch_order.append(len(caches))
+                names.append(next(labels))
+                caches.append((level.icache, True, False))
+            if level.dcache is not None:
+                data_order.append(len(caches))
+                names.append(next(labels))
+                caches.append((level.dcache, False, True))
+        self.names = tuple(names)
+        self.caches = tuple(caches)
+        self.fetch_order = tuple(fetch_order)
+        self.data_order = tuple(data_order)
+        self.fcosts = tuple(serve_costs(
+            path_geometry(config.fetch_path(), "i"), timing))
+        self.dcosts = tuple(serve_costs(
+            path_geometry(config.data_path(), "d"), timing))
+        self.spm_tag_cycles = tuple(
+            timing.cycles(RegionKind.SPM, TAG_WIDTH[tag])
+            for tag in range(8))
+        self.main_tag_cycles = tuple(
+            timing.cycles(RegionKind.MAIN, TAG_WIDTH[tag])
+            for tag in range(8))
+        self.dm_chain = all(spec.assoc == 1 for spec, _f, _d in caches)
+        self.kernel_caches = tuple(
+            (spec.line_size, spec.num_sets, on_fetch, on_data)
+            for spec, on_fetch, on_data in caches)
+
+
+_PLANS = {}
+_PLANS_BY_ID = {}
+
+
+def _plan_for(config: SystemConfig) -> _ReplayPlan:
+    # Fast path: the same config object replayed again (sweeps, grids,
+    # benches) resolves by identity, skipping the key flattening.
+    cached = _PLANS_BY_ID.get(id(config))
+    if cached is not None and cached[0] is config:
+        return cached[1]
+    # AccessTiming holds dict fields (unhashable), so the memo key
+    # flattens it; levels tuples are frozen dataclasses and hash fine.
+    timing = config.timing
+    key = (config.levels,
+           tuple(sorted(timing.main.items())),
+           tuple(sorted(timing.spm.items())))
+    plan = _PLANS.get(key)
+    if plan is None:
+        plan = _PLANS[key] = _ReplayPlan(config)
+    _PLANS_BY_ID[id(config)] = (config, plan)
+    return plan
+
+
+def _fixed_cycles(trace: Trace, plan: _ReplayPlan,
                   fetches_fixed: bool, reads_fixed: bool) -> int:
     """Cycles of every access whose cost the config pins up front.
 
     Always: SPM-resident accesses and the write-through store costs.
     Additionally the whole fetch (data-read) stream when no cache sits
     on that path, where each access pays plain main-memory cost.
+    Memoised on the trace per (plan, path-fixedness) — plans are
+    interned for the process lifetime, so their ids are stable keys.
     """
-    spm_out = hierarchy._spm_out
-    main_out = hierarchy._main_out
+    memo = trace._memo
+    memo_key = ("fixed", id(plan), fetches_fixed, reads_fixed)
+    cached = memo.get(memo_key)
+    if cached is not None:
+        return cached
+    spm_out = plan.spm_tag_cycles
+    main_out = plan.main_tag_cycles
     total = 0
     for tag, count in enumerate(trace.spm_counts):
         if count:
-            total += count * spm_out[TAG_WIDTH[tag]].cycles
+            total += count * spm_out[tag]
     counts = trace.op_counts
     for tag in (4, 5, 6):  # writes: main cost at any depth
         if counts[tag]:
-            total += counts[tag] * main_out[TAG_WIDTH[tag]].cycles
+            total += counts[tag] * main_out[tag]
     if fetches_fixed and (counts[0] or counts[7]):
-        total += (counts[0] + counts[7]) * main_out[2].cycles
+        total += (counts[0] + counts[7]) * main_out[0]
     if reads_fixed:
         for tag in (1, 2, 3):
             if counts[tag]:
-                total += counts[tag] * main_out[TAG_WIDTH[tag]].cycles
+                total += counts[tag] * main_out[tag]
+    memo[memo_key] = total
     return total
 
 
@@ -93,16 +209,80 @@ def _result(trace: Trace, hierarchy: MemoryHierarchy,
     )
 
 
+def _plan_result(trace: Trace, plan: _ReplayPlan, cycles: int,
+                 counts_per_cache) -> SimResult:
+    """Build a SimResult from counters alone (no tag arrays needed)."""
+    level_stats = {}
+    first = None
+    for name, counts in zip(plan.names, counts_per_cache):
+        stats = CacheStats(*counts)
+        level_stats[name] = stats
+        if first is None:
+            first = stats
+    return SimResult(
+        cycles=cycles,
+        instructions=trace.instructions,
+        exit_code=trace.exit_code,
+        console=list(trace.console),
+        cache_stats=first,
+        level_stats=level_stats,
+    )
+
+
+def _priced_counts(trace: Trace, plan: _ReplayPlan, counts_per_cache,
+                   fetches_fixed: bool = False,
+                   reads_fixed: bool = False) -> int:
+    """Total cycles from per-cache counters and the plan's cost tables."""
+    cycles = trace.base_cycles + _fixed_cycles(
+        trace, plan, fetches_fixed=fetches_fixed, reads_fixed=reads_fixed)
+    op_counts = trace.op_counts
+    if plan.fetch_order and not fetches_fixed:
+        total = op_counts[0] + op_counts[7]
+        served = 0
+        for depth, index in enumerate(plan.fetch_order):
+            hits = counts_per_cache[index][0]
+            cycles += hits * plan.fcosts[depth]
+            served += hits
+        cycles += (total - served) * plan.fcosts[len(plan.fetch_order)]
+    if plan.data_order and not reads_fixed:
+        total = op_counts[1] + op_counts[2] + op_counts[3]
+        served = 0
+        for depth, index in enumerate(plan.data_order):
+            hits = counts_per_cache[index][2]
+            cycles += hits * plan.dcosts[depth]
+            served += hits
+        cycles += (total - served) * plan.dcosts[len(plan.data_order)]
+    return cycles
+
+
 def replay(trace: Trace, config: SystemConfig,
            max_steps: int = 50_000_000) -> SimResult:
     """Re-price *trace* under *config*; bit-identical to execution."""
     _check_budget(trace, max_steps)
     _check_spm(trace, config)
+    plan = _plan_for(config)
+    COUNTERS["replay_runs"] += 1
+    if not plan.caches:
+        # No tag state anywhere: pure arithmetic over the plan tables.
+        COUNTERS["replay_scalar"] += 1
+        cycles = trace.base_cycles + _fixed_cycles(
+            trace, plan, fetches_fixed=True, reads_fixed=True)
+        return _plan_result(trace, plan, cycles, ())
+    if plan.dm_chain and kernels.active_kernel() == "numpy":
+        COUNTERS["replay_numpy"] += 1
+        counts = kernels.dm_chain_counts(
+            kernels.ops_view(trace.ops), plan.kernel_caches,
+            memo=trace._memo)
+        cycles = _priced_counts(trace, plan, counts,
+                                fetches_fixed=not plan.fetch_order,
+                                reads_fixed=not plan.data_order)
+        return _plan_result(trace, plan, cycles, counts)
+    COUNTERS["replay_scalar"] += 1
     hierarchy = MemoryHierarchy(config)
     fchain = hierarchy._fetch_chain
     dchain = hierarchy._data_chain
     cycles = trace.base_cycles + _fixed_cycles(
-        trace, hierarchy, fetches_fixed=not fchain,
+        trace, plan, fetches_fixed=not fchain,
         reads_fixed=not dchain)
     if fchain == dchain and len(fchain) == 1 \
             and fchain[0].config.assoc == 1:
@@ -112,7 +292,6 @@ def replay(trace: Trace, config: SystemConfig,
         cycles += _walk_fetch_dm(trace, hierarchy)
     elif fchain or dchain:
         cycles += _walk_generic(trace, hierarchy)
-    COUNTERS["replay_runs"] += 1
     return _result(trace, hierarchy, cycles)
 
 
@@ -302,14 +481,15 @@ def replay_misses(trace: Trace, config: SystemConfig,
 
 # -- single-pass size sweeps -------------------------------------------------
 
-def sweep_geometry(config: SystemConfig):
-    """The shared-geometry key of *config*, or None if not sweepable.
+def grid_geometry(config: SystemConfig):
+    """The shared-geometry key of *config* for grid evaluation.
 
-    Sweepable configs have exactly one cache level that serves fetches,
-    direct-mapped with LRU (where direct-mapped content is just "last
-    allocated block per set" — the degenerate Mattson stack), optionally
-    behind a scratchpad.  Configs with equal keys (and equal SPM splits)
-    may be evaluated together by :func:`replay_sweep` in one pass.
+    Grid-able configs have exactly one cache level that serves fetches
+    (unified or instruction-only), LRU replacement at any
+    associativity, optionally behind a scratchpad.  Configs with equal
+    keys (and equal SPM splits) may be evaluated together by
+    :func:`replay_grid` in one pass.  Returns None when the config
+    needs a plain per-config replay.
     """
     caches = config.cache_level_specs
     if len(caches) != 1:
@@ -319,12 +499,28 @@ def sweep_geometry(config: SystemConfig):
         return None
     if level.dcache is not None and not level.shared:
         return None
-    spec = level.icache
-    if spec.assoc != 1 or spec.replacement != ReplacementPolicy.LRU:
+    if level.icache.replacement != ReplacementPolicy.LRU:
         return None
     # Per-config costs (hit_cycles, timing) are priced after the walk,
     # so only what shapes the shared walk itself keys the group.
-    return (spec.line_size, level.shared, config.spm_size)
+    return (level.icache.line_size, level.shared, config.spm_size)
+
+
+def sweep_geometry(config: SystemConfig):
+    """The shared-geometry key of *config*, or None if not sweepable.
+
+    Sweepable configs are the direct-mapped subset of
+    :func:`grid_geometry` (where direct-mapped content is just "last
+    allocated block per set" — the degenerate Mattson stack).  Configs
+    with equal keys (and equal SPM splits) may be evaluated together by
+    :func:`replay_sweep` in one pass.
+    """
+    key = grid_geometry(config)
+    if key is None:
+        return None
+    if config.cache_level_specs[0].icache.assoc != 1:
+        return None
+    return key
 
 
 def replay_sweep(trace: Trace, configs,
@@ -348,40 +544,44 @@ def replay_sweep(trace: Trace, configs,
         _check_spm(trace, config)
     line, unified, _spm = next(iter(keys))
 
-    hierarchies = [MemoryHierarchy(config) for config in configs]
-    tables = []
-    for hierarchy in hierarchies:
-        cache = hierarchy._fetch_chain[0]
-        tables.append(([-1] * cache.config.num_sets,
-                       cache.config.num_sets, [0] * 6))
-
-    if len(tables) == 1:
-        # Degenerate sweep: the specialized single-config walks are
-        # cheaper than the multi-table loop.
+    if len(configs) == 1:
+        # Degenerate sweep: the specialized single-config paths are
+        # cheaper than the multi-table kernels.
         results = [replay(trace, configs[0], max_steps)]
         COUNTERS["replay_runs"] -= 1
     else:
-        _sweep_walk(trace.ops, tables, line, unified)
-        results = []
-        for config, hierarchy, (_last, _nsets, counts) in zip(
-                configs, hierarchies, tables):
-            cache = hierarchy._fetch_chain[0]
-            fast = cache.fast_counts
-            for i in range(6):
-                fast[i] = counts[i]
-            f_hit, f_miss = (out.cycles for out in hierarchy._fetch_out)
-            cycles = trace.base_cycles + _fixed_cycles(
-                trace, hierarchy, fetches_fixed=False,
-                reads_fixed=not unified)
-            cycles += counts[0] * f_hit + counts[1] * f_miss
-            if unified:
-                r_hit, r_miss = (out.cycles
-                                 for out in hierarchy._data_out)
-                cycles += counts[2] * r_hit + counts[3] * r_miss
-            results.append(_result(trace, hierarchy, cycles))
+        plans = [_plan_for(config) for config in configs]
+        nsets_list = [plan.caches[0][0].num_sets for plan in plans]
+        if kernels.active_kernel() == "numpy":
+            COUNTERS["sweep_numpy"] += 1
+            counts_list = kernels.dm_sweep_counts(
+                kernels.ops_view(trace.ops), line, unified, nsets_list,
+                memo=trace._memo)
+        else:
+            COUNTERS["sweep_scalar"] += 1
+            tables = [([-1] * nsets, nsets, [0] * 6)
+                      for nsets in nsets_list]
+            _sweep_walk(trace.ops, tables, line, unified)
+            counts_list = [counts for _last, _nsets, counts in tables]
+        results = [
+            _plan_result(trace, plan,
+                         _sweep_cycles(trace, plan, counts, unified),
+                         (counts,))
+            for plan, counts in zip(plans, counts_list)]
     COUNTERS["sweep_passes"] += 1
     COUNTERS["sweep_points"] += len(configs)
     return results
+
+
+def _sweep_cycles(trace: Trace, plan: _ReplayPlan, counts,
+                  unified: bool) -> int:
+    """Price one single-cache config from its sweep/grid counters."""
+    cycles = trace.base_cycles + _fixed_cycles(
+        trace, plan, fetches_fixed=False, reads_fixed=not unified)
+    cycles += counts[0] * plan.fcosts[0] + counts[1] * plan.fcosts[1]
+    if unified:
+        cycles += counts[2] * plan.dcosts[0] + counts[3] * plan.dcosts[1]
+    return cycles
 
 
 def _sweep_walk(ops, tables, line, unified):
@@ -438,3 +638,179 @@ def _sweep_walk(ops, tables, line, unified):
                         counts[4] += 1
                     else:
                         counts[5] += 1
+
+
+# -- single-pass geometry grids ----------------------------------------------
+
+def replay_grid(trace: Trace, configs,
+                max_steps: int = 50_000_000):
+    """Evaluate a (size × associativity) LRU grid in one trace pass.
+
+    All *configs* must share one :func:`grid_geometry` key (same line
+    size, same unified/instruction side, same SPM split — sizes and
+    associativities free).  Returns one SimResult per config, in order,
+    bit-identical to :func:`replay` per point.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    _check_budget(trace, max_steps)
+    keys = {grid_geometry(config) for config in configs}
+    if len(keys) != 1 or None in keys:
+        raise ValueError("replay_grid needs same-geometry LRU configs, "
+                         f"got keys {keys}")
+    for config in configs:
+        _check_spm(trace, config)
+    line, unified, _spm = next(iter(keys))
+
+    plans = [_plan_for(config) for config in configs]
+    specs = [plan.caches[0][0] for plan in plans]
+    counts_for = [None] * len(configs)
+    use_numpy = kernels.active_kernel() == "numpy"
+
+    dm_positions = [i for i, spec in enumerate(specs) if spec.assoc == 1]
+    lru_positions = [i for i, spec in enumerate(specs) if spec.assoc > 1]
+
+    if dm_positions:
+        nsets_list = [specs[i].num_sets for i in dm_positions]
+        if use_numpy:
+            dm_counts = kernels.dm_sweep_counts(
+                kernels.ops_view(trace.ops), line, unified, nsets_list,
+                memo=trace._memo)
+        else:
+            tables = [([-1] * nsets, nsets, [0] * 6)
+                      for nsets in nsets_list]
+            _sweep_walk(trace.ops, tables, line, unified)
+            dm_counts = [counts for _last, _nsets, counts in tables]
+        for position, counts in zip(dm_positions, dm_counts):
+            counts_for[position] = counts
+    if lru_positions:
+        points = [(specs[i].assoc, specs[i].num_sets)
+                  for i in lru_positions]
+        if unified and any(trace.op_counts[4:7]):
+            # Write hits refresh LRU order conditionally on residency,
+            # which depends on the associativity — no shared stack is
+            # exact here, so these points get their own LRU lists,
+            # still walked together in the one pass.
+            lru_counts = _grid_exact_walk(trace.ops, line, points)
+        else:
+            lru_counts = _grid_stack_walk(trace.ops, line, unified,
+                                          points)
+        for position, counts in zip(lru_positions, lru_counts):
+            counts_for[position] = counts
+    results = [
+        _plan_result(trace, plan,
+                     _sweep_cycles(trace, plan, counts, unified),
+                     (counts,))
+        for plan, counts in zip(plans, counts_for)]
+    COUNTERS["grid_passes"] += 1
+    COUNTERS["grid_points"] += len(configs)
+    COUNTERS["grid_numpy" if use_numpy else "grid_scalar"] += 1
+    return results
+
+
+def _grid_stack_walk(ops, line, unified, points):
+    """Shared per-set Mattson stacks for write-free LRU grid points.
+
+    *points* is a list of ``(assoc, nsets)``; no write probe ever
+    reaches the cache (instruction-cache side, or a write-free trace),
+    so every access refreshes LRU order unconditionally and one stack
+    per set serves every associativity: an access at stack distance
+    ``d`` hits every point with ``assoc > d``.  Stacks are trimmed to
+    the deepest associativity per set count — depths beyond it price
+    identically to a miss everywhere, and trimming bounds the
+    ``list.index`` search.
+    """
+    groups = {}  # nsets -> positions into points
+    for position, (_assoc, nsets) in enumerate(points):
+        groups.setdefault(nsets, []).append(position)
+    walkers = []
+    for nsets, members in groups.items():
+        deepest = max(points[i][0] for i in members)
+        walkers.append((nsets, deepest, [[] for _ in range(nsets)],
+                        [0] * (deepest + 1), [0] * (deepest + 1)))
+    prev = -1
+    for value in ops:
+        tag = value & 7
+        if tag == 7:
+            tag = 0
+        if tag and not unified:
+            continue
+        block = (value >> 3) // line
+        read = tag != 0
+        if block == prev:
+            for _nsets, _deepest, _stacks, fetch_hist, read_hist \
+                    in walkers:
+                (read_hist if read else fetch_hist)[0] += 1
+            continue
+        prev = block
+        for nsets, deepest, stacks, fetch_hist, read_hist in walkers:
+            stack = stacks[block % nsets]
+            try:
+                depth = stack.index(block)
+                del stack[depth]
+            except ValueError:
+                depth = deepest
+                if len(stack) >= deepest:
+                    stack.pop()
+            stack.insert(0, block)
+            (read_hist if read else fetch_hist)[depth] += 1
+    counts_for = [None] * len(points)
+    for (nsets, _deepest, _stacks, fetch_hist, read_hist), members \
+            in zip(walkers, groups.values()):
+        total_fetch = sum(fetch_hist)
+        total_read = sum(read_hist)
+        for position in members:
+            assoc = points[position][0]
+            fetch_hits = sum(fetch_hist[:assoc])
+            read_hits = sum(read_hist[:assoc])
+            counts_for[position] = [fetch_hits, total_fetch - fetch_hits,
+                                    read_hits, total_read - read_hits,
+                                    0, 0]
+    return counts_for
+
+
+def _grid_exact_walk(ops, line, points):
+    """Exact per-point LRU lists for unified grids with write traffic.
+
+    Matches the hierarchy's touch closures bit for bit: fetch/read hits
+    and write hits refresh LRU order, misses allocate (fetch/read) or
+    do nothing (write-through, no allocate).
+    """
+    states = [([[] for _ in range(nsets)], nsets, assoc, [0] * 6)
+              for assoc, nsets in points]
+    for value in ops:
+        tag = value & 7
+        block = (value >> 3) // line
+        if tag == 0 or tag == 7:
+            base = 0
+        elif tag < 4:
+            base = 2
+        else:
+            base = -1  # write: refresh residents, never allocate
+        if base < 0:
+            for sets, nsets, _assoc, counts in states:
+                ways = sets[block % nsets]
+                if block in ways:
+                    if ways[0] != block:
+                        ways.remove(block)
+                        ways.insert(0, block)
+                    counts[4] += 1
+                else:
+                    counts[5] += 1
+        else:
+            for sets, nsets, assoc, counts in states:
+                ways = sets[block % nsets]
+                if block in ways:
+                    if ways[0] != block:
+                        ways.remove(block)
+                        ways.insert(0, block)
+                    counts[base] += 1
+                else:
+                    if len(ways) < assoc:
+                        ways.insert(0, block)
+                    else:
+                        ways.pop()
+                        ways.insert(0, block)
+                    counts[base + 1] += 1
+    return [counts for _sets, _nsets, _assoc, counts in states]

@@ -73,7 +73,9 @@ TAG_WIDTH = (2, 1, 2, 4, 1, 2, 4, 2)
 #: on-disk entries then miss instead of corrupting replays.
 #: trace-2: continuation fetches carry TAG_FETCH_CONT and the per-tag
 #: count tuples grew to 8 entries.
-_TRACE_VERSION = "trace-2"
+#: trace-3: traces pickle in run-length-encoded form (same-line runs
+#: and stride-2 fetch/data runs collapse to one record each).
+_TRACE_VERSION = "trace-3"
 
 COUNTERS = {
     "trace_hits": 0,
@@ -84,6 +86,16 @@ COUNTERS = {
     "miss_replays": 0,
     "sweep_passes": 0,
     "sweep_points": 0,
+    "grid_passes": 0,
+    "grid_points": 0,
+    # Which backend served each replay/sweep/grid pass
+    # (:mod:`repro.sim.kernels` selection; `repro-cc trace --profile`).
+    "replay_scalar": 0,
+    "replay_numpy": 0,
+    "sweep_scalar": 0,
+    "sweep_numpy": 0,
+    "grid_scalar": 0,
+    "grid_numpy": 0,
 }
 
 _TRACE_CACHE = {}
@@ -91,14 +103,39 @@ _TRACE_DIR = None
 
 
 class Trace:
-    """One image's dynamic access stream plus its fixed cycle base."""
+    """One image's dynamic access stream plus its fixed cycle base.
 
-    __slots__ = ("ops", "op_counts", "spm_counts", "base_cycles",
-                 "instructions", "exit_code", "console", "spm_size")
+    The stream has two interchangeable storage forms: the flat packed
+    ``ops`` array the replay kernels walk, and a line-granular
+    run-length encoding (:meth:`runs`) where consecutive accesses with
+    the same tag and either an identical address or a +2-byte stride
+    (straight-line fetch runs, halfword array sweeps) collapse into one
+    ``(first_value, count, stride)`` record.  A run is stored in 8
+    bytes — an ``int32`` delta from the previous run's first value plus
+    a ``uint32`` ``count << 1 | stride`` word — so the encoding never
+    exceeds the flat stream and shrinks it whenever any run is longer
+    than one.  The encoding is lossless; :meth:`compact` drops the flat
+    form (the ``ops`` property re-expands lazily, numpy-accelerated
+    when available), and pickling stores the compact form — that is
+    what shrinks the on-disk trace cache and worker-to-worker
+    transfers.  Foreign ingested streams whose deltas overflow 32 bits
+    stay flat (:meth:`runs` returns None).
+
+    ``_memo`` caches config-independent stream reductions computed by
+    the vectorised replay kernels (:mod:`repro.sim.kernels`): block-id
+    vectors, kind masks, same-block-shortcut survivors.  It is private
+    to the kernels, never pickled, and rebuilt on demand.
+    """
+
+    __slots__ = ("_ops", "_runs", "_memo", "op_counts", "spm_counts",
+                 "base_cycles", "instructions", "exit_code", "console",
+                 "spm_size")
 
     def __init__(self, ops, op_counts, spm_counts, base_cycles,
                  instructions, exit_code, console, spm_size):
-        self.ops = ops
+        self._ops = ops
+        self._runs = None
+        self._memo = {}
         self.op_counts = op_counts
         self.spm_counts = spm_counts
         self.base_cycles = base_cycles
@@ -106,6 +143,73 @@ class Trace:
         self.exit_code = exit_code
         self.console = console
         self.spm_size = spm_size
+
+    @property
+    def ops(self):
+        """The flat packed stream, re-expanded from runs if compacted."""
+        ops = self._ops
+        if ops is None:
+            ops = self._ops = _expand_runs(*self._runs)
+        return ops
+
+    def runs(self):
+        """``(base, heads, packed)`` run arrays; encoded on first use.
+
+        ``base`` is the first run's absolute packed value; ``heads[i]``
+        is run *i*'s ``int32`` delta from run *i-1*'s first value
+        (``heads[0]`` is 0); ``packed[i]`` is ``count << 1 | (1 if the
+        address strides by 2 per repeat)``.  Returns None when the
+        stream does not encode (a foreign trace whose deltas overflow
+        32 bits) — the flat form is kept then.
+        """
+        if self._runs is None:
+            self._runs = _compress_ops(self._ops) or _NO_RUNS
+        return None if self._runs is _NO_RUNS else self._runs
+
+    def iter_runs(self):
+        """Yield ``(first_value, count, stride_flag)`` per run.
+
+        Unencodable streams fall back to one singleton run per op.
+        """
+        runs = self.runs()
+        if runs is None:
+            for value in self.ops:
+                yield value, 1, 0
+            return
+        base, heads, packed = runs
+        value = base
+        for head, record in zip(heads, packed):
+            value += head
+            yield value, record >> 1, record & 1
+
+    def compact(self) -> "Trace":
+        """Keep only the run-length form; ``ops`` re-expands lazily."""
+        if self.runs() is not None:
+            self._ops = None
+        return self
+
+    def __getstate__(self):
+        rest = (self.op_counts, self.spm_counts, self.base_cycles,
+                self.instructions, self.exit_code, self.console,
+                self.spm_size)
+        runs = self.runs()
+        if runs is None:
+            return ("flat", self._ops) + rest
+        return ("runs",) + runs + rest
+
+    def __setstate__(self, state):
+        if state[0] == "runs":
+            self._ops = None
+            self._runs = state[1:4]
+            rest = state[4:]
+        else:
+            self._ops = state[1]
+            self._runs = _NO_RUNS
+            rest = state[2:]
+        (self.op_counts, self.spm_counts, self.base_cycles,
+         self.instructions, self.exit_code, self.console,
+         self.spm_size) = rest
+        self._memo = {}
 
     @property
     def accesses(self) -> int:
@@ -116,6 +220,82 @@ class Trace:
         """``(fetches, reads, writes)`` over the whole stream."""
         totals = [a + b for a, b in zip(self.op_counts, self.spm_counts)]
         return (totals[0] + totals[7], sum(totals[1:4]), sum(totals[4:7]))
+
+
+#: Address stride of a packed run record, in ``addr << 3`` units: a
+#: +2-byte stride (consecutive halfword fetches, halfword array walks)
+#: is +16 on the packed value, tag bits untouched.
+_RUN_STRIDE = 16
+
+#: Sentinel stored in ``Trace._runs`` when the stream does not encode.
+_NO_RUNS = object()
+
+_HEAD_MIN = -(1 << 31)
+_HEAD_MAX = (1 << 31) - 1
+
+
+def _compress_ops(ops):
+    """Greedy lossless RLE into ``(base, heads, packed)`` delta arrays.
+
+    8 bytes per run: the ``int32`` delta of the run's first value from
+    the previous run's first value, and ``count << 1 | stride`` as
+    ``uint32``.  Returns None when a delta or count overflows 32 bits
+    (only possible for ingested foreign streams) — callers keep the
+    flat form then.
+    """
+    heads = array("i")
+    packed = array("I")
+    if heads.itemsize != 4 or packed.itemsize != 4:  # pragma: no cover
+        return None
+    n = len(ops)
+    if not n:
+        return 0, heads, packed
+    base = ops[0]
+    prev = base
+    i = 0
+    while i < n:
+        first = ops[i]
+        k = i + 1
+        step = 0
+        if k < n:
+            delta = ops[k] - first
+            if delta == 0 or delta == _RUN_STRIDE:
+                step = delta
+                expect = first + 2 * step
+                k += 1
+                while k < n and ops[k] == expect:
+                    expect += step
+                    k += 1
+        head = first - prev
+        if not (_HEAD_MIN <= head <= _HEAD_MAX and k - i <= _HEAD_MAX):
+            return None
+        heads.append(head)
+        packed.append(((k - i) << 1) | (1 if step else 0))
+        prev = first
+        i = k
+    return base, heads, packed
+
+
+def _expand_runs(base, heads, packed):
+    """Decode :func:`_compress_ops` output back into a flat stream."""
+    from . import kernels
+    if kernels.have_numpy():
+        return kernels.expand_runs(base, heads, packed)
+    ops = array("Q")
+    extend = ops.extend
+    append = ops.append
+    first = base
+    for head, record in zip(heads, packed):
+        first += head
+        count = record >> 1
+        if record & 1:
+            extend(range(first, first + count * _RUN_STRIDE,
+                         _RUN_STRIDE))
+        elif count == 1:
+            append(first)
+        else:
+            extend([first] * count)
+    return ops
 
 
 class _TraceTap:

@@ -38,7 +38,13 @@ from .memory.cache import CacheConfig
 from .memory.hierarchy import SystemConfig
 from .minic.frontend import compile_source
 from .sim.profile import ProgramProfile, build_profile
-from .sim.replay import replay, replay_sweep, sweep_geometry
+from .sim.replay import (
+    grid_geometry,
+    replay,
+    replay_grid,
+    replay_sweep,
+    sweep_geometry,
+)
 from .sim.simulator import SimResult, simulate
 from .sim.trace import trace_for
 from .spm.allocator import Allocation, allocate_energy_optimal
@@ -171,10 +177,12 @@ class Workflow:
     def _cache_sims(self, caches) -> dict:
         """One :class:`SimResult` per cache config, trace-replayed.
 
-        Same-geometry direct-mapped LRU groups (the paper's size sweeps)
-        are served from a single stack-distance pass over the baseline
-        trace; everything else replays per config.  All of it reuses the
-        one recorded trace of the shared executable.
+        Same-geometry LRU groups are served from a single pass over the
+        baseline trace — a stack-distance size sweep when the whole
+        group is direct-mapped (the paper's size sweeps), the per-set
+        Mattson geometry-grid kernel when associativities mix; anything
+        else replays per config.  All of it reuses the one recorded
+        trace of the shared executable.
         """
         trace = trace_for(self.baseline_image(), 0,
                           max_steps=self.max_steps)
@@ -182,7 +190,7 @@ class Workflow:
         singles = []
         for cache in dict.fromkeys(caches):
             config = SystemConfig.cached(cache)
-            key = sweep_geometry(config)
+            key = grid_geometry(config)
             if key is None:
                 singles.append((cache, config))
             else:
@@ -192,13 +200,29 @@ class Workflow:
             if len(items) == 1:
                 singles.extend(items)
                 continue
-            results = replay_sweep(trace, [config for _, config in items],
-                                   max_steps=self.max_steps)
+            configs = [config for _, config in items]
+            if all(sweep_geometry(config) is not None
+                   for config in configs):
+                results = replay_sweep(trace, configs,
+                                       max_steps=self.max_steps)
+            else:
+                results = replay_grid(trace, configs,
+                                      max_steps=self.max_steps)
             for (cache, _), sim in zip(items, results):
                 sims[cache] = sim
         for cache, config in singles:
             sims[cache] = replay(trace, config, max_steps=self.max_steps)
         return sims
+
+    def cache_sims(self, caches) -> dict:
+        """Trace-replayed :class:`SimResult` per cache config, no WCET.
+
+        The geometry-grid entry point: hand any mix of single-level
+        cache configs (sizes × associativities) and compatible groups
+        collapse into single sweep/grid passes over the one recorded
+        trace.  Returns ``{cache_config: SimResult}``.
+        """
+        return self._cache_sims(list(dict.fromkeys(caches)))
 
     # -- right branch: cache ----------------------------------------------------------
 

@@ -29,12 +29,16 @@ EXECUTE_LABELS = ("uncached", "l1", "l1+l2", "split-i/d")
 def test_simulator_report_shape(sim_report):
     expected = set(EXECUTE_LABELS)
     expected |= {f"{label} (replay)" for label in EXECUTE_LABELS}
-    expected |= {"trace-record", "sweep-x8 (replay)"}
+    expected |= {"trace-record", "sweep-x8 (replay)",
+                 "geometry-grid (replay)", "trace-rle-load"}
     assert set(sim_report) == expected
     for entry in sim_report.values():
         assert entry["instructions_per_sec"] > 0
         assert entry["seconds"] > 0
     assert sim_report["sweep-x8 (replay)"]["points"] == 8
+    assert sim_report["geometry-grid (replay)"]["points"] == 32
+    assert sim_report["trace-rle-load"]["rle_bytes"] \
+        < sim_report["trace-rle-load"]["ops_bytes"]
     assert sim_report["trace-record"]["accesses"] > 0
 
 

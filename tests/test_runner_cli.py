@@ -13,6 +13,7 @@ class TestRunnerCli:
             "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
             "worstcase", "ablation_cacheconfig", "ablation_multilevel",
             "ablation_persistence", "ablation_wcet_alloc",
+            "geometry_grid",
         }
 
     def test_single_experiment(self, capsys):

@@ -77,6 +77,55 @@ class TestRoundTrip:
         parsed = parse_trace(_dump_lines(original).splitlines())
         _assert_traces_equal(parsed, original)
 
+    def test_dump_emits_version_3_runs(self):
+        text = _dump_lines(_native_trace())
+        lines = text.splitlines()
+        assert lines[0] == "# repro-trace 3"
+        assert any(" x" in line for line in lines
+                   if not line.startswith("#"))
+
+    def test_version_1_files_still_load(self):
+        # Pre-RLE dumps carry one record per access; the parser keeps
+        # accepting them unchanged.
+        parsed = parse_trace(["# repro-trace 1",
+                              "F 0x8000", "F 0x8002", "R4 0x9000"])
+        assert list(parsed.ops) == [(0x8000 << 3),
+                                    (0x8002 << 3),
+                                    (0x9000 << 3) | READ_TAGS[4]]
+
+    def test_version_3_run_records_expand(self):
+        parsed = parse_trace(["# repro-trace 3",
+                              "F 0x8000 x3 s2",     # 0x8000/2/4
+                              "R4 0x9000 x2",       # repeated word read
+                              "W2 0xa000"])
+        expect = [(0x8000 << 3), (0x8002 << 3), (0x8004 << 3),
+                  (0x9000 << 3) | READ_TAGS[4],
+                  (0x9000 << 3) | READ_TAGS[4],
+                  (0xa000 << 3) | WRITE_TAGS[2]]
+        assert list(parsed.ops) == expect
+        assert parsed.op_counts[TAG_FETCH] == 3
+
+    def test_run_roundtrip_random_traces(self):
+        rng = random.Random(0xBEEF)
+        ops = array("Q")
+        counts = [0] * 8
+        addr = 0x8000
+        for _ in range(500):
+            if rng.random() < 0.7:
+                addr += 2
+                tag = TAG_FETCH
+            else:
+                addr = 0x9000 + rng.randrange(64) * 4
+                tag = rng.choice((READ_TAGS[4], WRITE_TAGS[4]))
+            ops.append((addr << 3) | tag)
+            counts[tag] += 1
+        original = Trace(ops=ops, op_counts=tuple(counts),
+                         spm_counts=(0,) * 8, base_cycles=7,
+                         instructions=counts[TAG_FETCH], exit_code=0,
+                         console=(), spm_size=0)
+        parsed = parse_trace(_dump_lines(original).splitlines())
+        _assert_traces_equal(parsed, original)
+
     def test_roundtrip_preserves_console_and_spm_counts(self):
         source = get("crc").source()
         program = compile_source(source).program

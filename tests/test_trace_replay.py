@@ -38,7 +38,15 @@ from repro.sim.trace import (
     set_trace_cache_dir,
     trace_for,
 )
+from repro.sim import kernels
 from repro.workflow import Workflow
+
+#: Workflow pricing runs the IPET LP, which has a hard numpy
+#: dependency — unlike replay itself, which falls back to the scalar
+#: kernels (the numpy-less CI job runs this module).
+needs_lp = pytest.mark.skipif(not kernels.have_numpy(),
+                              reason="WCET pricing needs the numpy "
+                                     "LP solver")
 
 SPM_SIZE = 512
 
@@ -297,6 +305,7 @@ int main(void) {
 """
 
 
+@needs_lp
 def test_workflow_cache_sweep_reuses_one_trace(fresh_trace_cache):
     counters = fresh_trace_cache
     counters.update(trace_hits=0, trace_misses=0, trace_records=0,
@@ -322,13 +331,15 @@ def test_workflow_cache_sweep_reuses_one_trace(fresh_trace_cache):
                      simulate(point.image, point.config), point.config.name)
 
 
+@needs_lp
 def test_workflow_mixed_geometry_sweep(fresh_trace_cache):
     counters = fresh_trace_cache
-    counters.update(trace_records=0, sweep_passes=0, replay_runs=0)
+    counters.update(trace_records=0, sweep_passes=0, grid_passes=0,
+                    grid_points=0, replay_runs=0)
     workflow = Workflow(_SWEEP_SOURCE)
     specs = [
         (CacheConfig(size=64), False),
-        (CacheConfig(size=256, assoc=2), False),   # not sweepable
+        (CacheConfig(size=256, assoc=2), False),   # joins the grid pass
         (CacheConfig(size=128), False),
         (CacheConfig(size=64, unified=False), False),  # separate group
         (CacheConfig(size=256), False),
@@ -337,13 +348,16 @@ def test_workflow_mixed_geometry_sweep(fresh_trace_cache):
     points = workflow.cache_points(specs)
     assert [p.config.cache for p in points] == [cache for cache, _ in specs]
     assert counters["trace_records"] == 1
-    assert counters["sweep_passes"] == 2   # unified trio + icache pair
-    assert counters["replay_runs"] == 1    # the 2-way outlier
+    assert counters["grid_passes"] == 1    # unified trio + the 2-way point
+    assert counters["grid_points"] == 4
+    assert counters["sweep_passes"] == 1   # all-DM icache pair
+    assert counters["replay_runs"] == 0
     for point in points:
         _assert_same(point.sim,
                      simulate(point.image, point.config), point.config.name)
 
 
+@needs_lp
 def test_uncached_point_is_memoized():
     workflow = Workflow(_SWEEP_SOURCE)
     assert workflow.uncached_point() is workflow.uncached_point()
