@@ -25,7 +25,11 @@ writes one JSON artefact per engine, next to this file:
   actually pays, with the content-addressed reuse caches hitting);
 * ``BENCH_experiments.json`` — wall seconds per full-sweep experiment
   (the ``repro-experiments`` artefact regeneration), the end-to-end
-  number the two baselines above exist to protect.
+  number the two baselines above exist to protect;
+* ``BENCH_store.json`` — the ``ArtifactStore`` full-cycle cost versus
+  the raw-pickle disk idiom it replaced, as a paired median ratio.
+  Unlike the other sections this gate is same-run (store vs raw on the
+  same host, seconds apart), so it holds on any machine.
 
 Every timing is the best of ``--rounds`` (default 3)
 ``time.perf_counter`` runs (experiments run once: they are long and
@@ -45,8 +49,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
+import statistics
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -68,6 +76,7 @@ SIM_BASELINE = _HERE / "BENCH_hierarchy.json"
 SIM_REPORT = _HERE / "BENCH_simulator.json"
 WCET_REPORT = _HERE / "BENCH_wcet.json"
 EXPERIMENTS_REPORT = _HERE / "BENCH_experiments.json"
+STORE_REPORT = _HERE / "BENCH_store.json"
 
 #: The four hierarchy shapes every WCET benchmark is analysed under.
 WCET_SHAPES = (
@@ -248,6 +257,78 @@ def bench_wcet(rounds=3) -> dict:
     return report
 
 
+def bench_store(rounds=3) -> dict:
+    """ArtifactStore full-cycle cost against the raw-pickle disk idiom
+    it replaced (sha256 digest path, ``pickle.dumps`` to a tmp file,
+    ``os.replace``, then read + ``pickle.loads`` — no verification).
+
+    Both sides do the identical dumps/rename/read/loads work on the
+    recorded ADPCM trace; the store adds its checksummed envelope (one
+    word-sum pass over the payload per direction) and counter
+    bookkeeping.  Cycles are timed in raw/store pairs with alternating
+    order and summarised by per-cycle medians: ``os.replace`` swings
+    2-3x with filesystem journal state, which best-of or averaging
+    would smear into the comparison, while pairing and medians cancel
+    it.  The gate (in :func:`check`) is same-run — store total within
+    5% of the raw total plus the suite's standard few-ms slack — so it
+    needs no committed baseline and cannot drift with the host.
+    """
+    from repro.store import ArtifactStore
+
+    trace = record_trace(_image("adpcm"), 0)
+    key = ("bench", "store-overhead")
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as root:
+        raw_dir = os.path.join(root, "raw")
+        os.makedirs(raw_dir)
+        store = ArtifactStore(os.path.join(root, "store"), suffix=".pkl")
+
+        def raw_cycle():
+            digest = hashlib.sha256(repr(key).encode()).hexdigest()
+            path = os.path.join(raw_dir, digest + ".pkl")
+            blob = pickle.dumps(trace, pickle.HIGHEST_PROTOCOL)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+            with open(path, "rb") as handle:
+                return pickle.loads(handle.read())
+
+        def store_cycle():
+            store.store(key, trace)
+            return store.load(key)
+
+        assert raw_cycle().accesses == trace.accesses
+        assert store_cycle().accesses == trace.accesses  # and warm both
+        pairs = max(24, 16 * rounds)
+        raw_times, store_times = [], []
+        for index in range(pairs):
+            first, second = ((raw_cycle, store_cycle) if index % 2 == 0
+                             else (store_cycle, raw_cycle))
+            start = time.perf_counter()
+            first()
+            middle = time.perf_counter()
+            second()
+            end = time.perf_counter()
+            if index % 2 == 0:
+                raw_times.append(middle - start)
+                store_times.append(end - middle)
+            else:
+                store_times.append(middle - start)
+                raw_times.append(end - middle)
+        payload_bytes = len(pickle.dumps(trace, pickle.HIGHEST_PROTOCOL))
+        counters = dict(store.counters)
+    assert counters["corrupt"] == 0 and counters["write_errors"] == 0
+    ratio = statistics.median(
+        s / r for s, r in zip(store_times, raw_times))
+    return {"store-overhead": {
+        "payload_bytes": payload_bytes,
+        "pairs": pairs,
+        "raw_seconds": round(statistics.median(raw_times) * pairs, 6),
+        "store_seconds": round(statistics.median(store_times) * pairs, 6),
+        "overhead_ratio": round(ratio, 4),
+    }}
+
+
 def bench_experiments() -> dict:
     """Wall time of every full-sweep experiment, runner-style.
 
@@ -298,7 +379,8 @@ def _check_seconds(kind, label, measured, base, floor, slack=0.0,
     return status == "REGRESSION"
 
 
-def check(sim_report, wcet_report, experiments_report, tolerance) -> int:
+def check(sim_report, wcet_report, experiments_report, tolerance,
+          store_report=None) -> int:
     """Compare fresh measurements against the committed baselines.
 
     Returns the number of regressions beyond *tolerance* (a fraction:
@@ -306,6 +388,20 @@ def check(sim_report, wcet_report, experiments_report, tolerance) -> int:
     """
     failures = 0
     floor = 1.0 - tolerance
+    if store_report is not None:
+        # Same-run gate, no committed baseline: the raw side ran on the
+        # same host seconds earlier, so the 5% bound is on the envelope
+        # itself.  The few-ms slack matches the warm-WCET gates — both
+        # totals are tens of ms, where one GC pause outweighs 5%.
+        entry = store_report["store-overhead"]
+        bound = entry["raw_seconds"] * 1.05 + 0.005
+        status = ("ok" if entry["store_seconds"] <= bound
+                  else "REGRESSION")
+        print(f"stor store-overhead        store {entry['store_seconds']:.4f}s"
+              f" vs raw {entry['raw_seconds']:.4f}s over"
+              f" {entry['pairs']} cycles  (median cycle ratio"
+              f" {entry['overhead_ratio']:.3f}; gate 1.05x + 5ms)  {status}")
+        failures += status != "ok"
     if SIM_REPORT.exists():
         committed = json.loads(SIM_REPORT.read_text())
         for label, entry in sim_report.items():
@@ -368,12 +464,13 @@ def main(argv=None) -> int:
 
     sim_report = bench_simulator(args.rounds)
     wcet_report = bench_wcet(args.rounds)
+    store_report = bench_store(args.rounds)
     experiments_report = (None if args.skip_experiments
                           else bench_experiments())
 
     if args.check:
         failures = check(sim_report, wcet_report, experiments_report,
-                         args.tolerance)
+                         args.tolerance, store_report)
         if failures:
             print(f"{failures} benchmark(s) regressed beyond "
                   f"{100 * args.tolerance:.0f}%")
@@ -383,6 +480,7 @@ def main(argv=None) -> int:
 
     SIM_REPORT.write_text(json.dumps(sim_report, indent=2) + "\n")
     WCET_REPORT.write_text(json.dumps(wcet_report, indent=2) + "\n")
+    STORE_REPORT.write_text(json.dumps(store_report, indent=2) + "\n")
     if experiments_report is not None:
         EXPERIMENTS_REPORT.write_text(
             json.dumps(experiments_report, indent=2) + "\n")
@@ -395,6 +493,10 @@ def main(argv=None) -> int:
         print(f"wcet {label:20} {entry['seconds']:.4f}s warm / "
               f"{entry['cold_seconds']:.4f}s cold "
               f"(WCET {entry['wcet_cycles']} cycles)")
+    entry = store_report["store-overhead"]
+    print(f"stor store-overhead  median cycle ratio "
+          f"{entry['overhead_ratio']:.3f} vs raw pickle "
+          f"({entry['payload_bytes']} byte payload)")
     for label, entry in (experiments_report or {}).items():
         print(f"swp  {label:20} {entry['seconds']:.2f}s")
     return 0

@@ -409,6 +409,52 @@ def cmd_annotations(args):
     return 0
 
 
+def cmd_cache(args):
+    """Inspect / maintain an on-disk artifact store directory.
+
+    Works on any store the trace or analysis layers write
+    (``set_trace_cache_dir`` / ``set_analysis_cache_dir`` /
+    ``evaluate_points`` worker caches): ``stats`` inventories it,
+    ``verify`` re-checksums every entry (quarantining failures),
+    ``gc`` enforces a byte cap (oldest-mtime entries evicted first)
+    and reaps stale ``.tmp*`` orphans, ``clear`` empties it.
+    """
+    import os as _os
+
+    from .store import ArtifactStore
+    store = ArtifactStore(args.dir)
+    if not _os.path.isdir(args.dir):
+        raise SystemExit(f"cache: no such directory: {args.dir}")
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"# store: {stats['root']}")
+        print(f"# entries:     {stats['entries']}")
+        print(f"# bytes:       {stats['bytes']}")
+        print(f"# shards:      {stats['shards']}")
+        print(f"# quarantined: {stats['quarantined_files']}")
+        for key, value in sorted(stats["counters"].items()):
+            print(f"#   {key:14} {value:>8}")
+        return 0
+    if args.action == "verify":
+        outcome = store.verify()
+        print(f"# verified {outcome['checked']} entries, "
+              f"quarantined {outcome['quarantined']}")
+        return 1 if outcome["quarantined"] else 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            raise SystemExit("cache gc: --max-bytes is required")
+        evicted = store.gc(args.max_bytes)
+        reaped = store.counters["reaped"]
+        print(f"# evicted {evicted} entries, reaped {reaped} "
+              "stale tmp files")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"# removed {removed} entries")
+        return 0
+    raise SystemExit(f"cache: unknown action {args.action!r}")
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -493,6 +539,22 @@ def main(argv=None) -> int:
                        help="instruction-only grid (data bypasses)")
     _add_kernel_option(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain an on-disk artifact store "
+                      "(trace / analysis cache directory)")
+    cache.add_argument("action",
+                       choices=("stats", "verify", "gc", "clear"),
+                       help="stats: inventory + counters; verify: "
+                            "re-checksum every entry, quarantine "
+                            "failures; gc: enforce --max-bytes and "
+                            "reap stale tmp files; clear: delete "
+                            "every entry")
+    cache.add_argument("dir", help="store directory")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       metavar="N", help="byte cap for gc (oldest "
+                                         "entries evicted first)")
+    cache.set_defaults(func=cmd_cache)
 
     sub.add_parser("gen", add_help=False,
                    help="seeded mini-C workload generator (repro-gen)")

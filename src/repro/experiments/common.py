@@ -29,7 +29,9 @@ import multiprocessing
 import os
 import shutil
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
 from ..benchmarks import get as get_benchmark
 from ..sim.trace import set_trace_cache_dir
@@ -43,6 +45,58 @@ _WORKFLOWS = {}
 
 #: Worker-process count for evaluate_points (set via ``set_jobs``).
 _JOBS = 1
+
+#: Resilience knobs for the parallel scheduler (``set_resilience``):
+#: per-unit wall-clock timeout in seconds (None disables), how many
+#: times a failed unit is re-run after its first attempt, and the base
+#: backoff delay (doubling per attempt) before a unit retries.
+_TIMEOUT = 600.0
+_RETRIES = 2
+_BACKOFF = 0.25
+
+_KEEP = object()
+
+
+def set_resilience(timeout=_KEEP, retries=_KEEP, backoff=_KEEP):
+    """Configure the hardened scheduler (``repro-experiments
+    --timeout/--retries``); omitted arguments keep their value."""
+    global _TIMEOUT, _RETRIES, _BACKOFF
+    if timeout is not _KEEP:
+        _TIMEOUT = timeout
+    if retries is not _KEEP:
+        _RETRIES = max(0, int(retries))
+    if backoff is not _KEEP:
+        _BACKOFF = max(0.0, float(backoff))
+
+
+class SweepFailure(RuntimeError):
+    """A sweep aborted: some unit kept failing after every retry.
+
+    Carries the partial results (task order, ``None`` where the failed
+    units' points would be) and one structured record per failed unit,
+    so the runner can report exactly what broke and how to reproduce
+    it instead of dumping a mid-sweep traceback.
+    """
+
+    def __init__(self, failures, results):
+        self.failures = failures
+        self.results = results
+        super().__init__(self.report())
+
+    def report(self) -> str:
+        done = sum(result is not None for result in self.results)
+        lines = [
+            f"sweep failed: {len(self.failures)} unit(s) exhausted "
+            f"their retries; {done}/{len(self.results)} points "
+            "completed (partial results merged in task order)"]
+        for failure in self.failures:
+            lines.append(
+                f"  unit bench={failure['bench']} kind={failure['kind']} "
+                f"task-indices={failure['indices']}: "
+                f"{failure['attempts']} attempts, last error: "
+                f"{failure['error']}")
+            lines.append(f"    repro: {failure['repro']}")
+        return "\n".join(lines)
 
 
 def workflow_for(key: str) -> Workflow:
@@ -180,9 +234,56 @@ def _run_unit(unit):
     """Evaluate one planned unit; returns points in intra-unit order."""
     indices, task = unit
     bench, kind, params = task
+    if os.environ.get("REPRO_FAULT_UNIT"):
+        # Deterministic crash/hang/raise injection for the resilience
+        # suite; a no-op unless the env var is set.
+        from ..testing.faults import unit_fault
+        unit_fault()
     if kind == "cache_batch":
         return workflow_for(bench).cache_points(params)
     return [_evaluate_task(task)]
+
+
+def rerun_unit(unit):
+    """Re-evaluate one failed unit serially (the failure-report repro).
+
+    Accepts the unit tuple or its ``repr`` as printed by a
+    :class:`SweepFailure` report; prints each produced point's row.
+    """
+    if isinstance(unit, str):
+        from ..memory.cache import CacheConfig
+        unit = eval(unit, {"CacheConfig": CacheConfig})
+    points = _run_unit(unit)
+    for point in points:
+        print(point.row())
+    return points
+
+
+def _unit_failure(unit, attempts, error) -> dict:
+    """Structured failure record for one exhausted unit."""
+    indices, task = unit
+    bench, kind, _params = task
+    return {
+        "bench": bench,
+        "kind": kind,
+        "indices": indices,
+        "attempts": attempts,
+        "error": repr(error) if isinstance(error, BaseException) else error,
+        "repro": ("PYTHONPATH=src python -c \"from "
+                  "repro.experiments.common import rerun_unit; "
+                  f"rerun_unit({str(unit)!r})\""),
+    }
+
+
+def _stop_pool(pool):
+    """Tear a pool down hard — hung or crashed workers included."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.kill()
+        except Exception:
+            pass
 
 
 def evaluate_points(tasks):
@@ -191,12 +292,18 @@ def evaluate_points(tasks):
     Tasks are first rewritten by the sweep-aware planner
     (:func:`plan_units`).  With one job the units run serially in plan
     order, sharing the process-wide workflow cache.  With more, units
-    fan out over a process pool; ``Executor.map`` preserves input order
-    and every unit's computation is deterministic, so the merge is
-    bit-for-bit the serial result.  On fork platforms the parent warms
-    each benchmark's compile (and profile, when a scratchpad task needs
-    it) first, so workers inherit the expensive steps instead of
-    redoing them.
+    fan out over a process pool through the hardened scheduler
+    (:func:`_evaluate_parallel`): per-unit timeouts, retry with
+    exponential backoff, and pool-rebuild recovery from crashed or
+    hung workers.  Results always merge back by task index and every
+    unit's computation is deterministic, so the merged artefacts are
+    bit-for-bit the serial result no matter how many faults were
+    survived along the way; a unit that keeps failing raises a
+    :class:`SweepFailure` carrying the partial results and a
+    structured report.  On fork platforms the parent warms each
+    benchmark's compile (and profile, when a scratchpad task needs it)
+    first, so workers inherit the expensive steps instead of redoing
+    them.
     """
     tasks = list(tasks)
     units = plan_units(tasks)
@@ -219,7 +326,6 @@ def evaluate_points(tasks):
         context = multiprocessing.get_context("fork")
     except ValueError:  # platform without fork: the initializer rebuilds
         context = multiprocessing.get_context()
-    workers = min(_JOBS, len(units))
     # Shared scratch directory for the content-addressed reuse caches
     # (analysis fixpoints + recorded traces): what one worker computes,
     # every other worker loads.
@@ -227,15 +333,119 @@ def evaluate_points(tasks):
     os.makedirs(os.path.join(cache_dir, "analysis"))
     os.makedirs(os.path.join(cache_dir, "traces"))
     try:
-        with ProcessPoolExecutor(
-                max_workers=workers, mp_context=context,
-                initializer=_init_worker,
-                initargs=(bench_keys, needs_profile, cache_dir)) as pool:
-            for unit, points in zip(units, pool.map(_run_unit, units)):
-                merge(unit, points)
+        _evaluate_parallel(units, merge, results, context,
+                           (bench_keys, needs_profile, cache_dir))
         return results
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def _evaluate_parallel(units, merge, results, context, initargs):
+    """The fault-tolerant fan-out behind :func:`evaluate_points`.
+
+    Invariants the resilience suite pins down:
+
+    * a unit that raises is retried with exponential backoff, up to
+      ``retries`` re-runs;
+    * a worker crash (``BrokenProcessPool``) or a unit exceeding the
+      per-unit timeout tears the whole pool down (hung processes are
+      killed), rebuilds it, and re-enqueues everything that was in
+      flight — units merely caught in the rebuild do not lose an
+      attempt;
+    * results merge by task index, so scheduling order never changes
+      the artefacts;
+    * when a unit exhausts its attempts the sweep still finishes every
+      other unit, then raises :class:`SweepFailure` with the partial
+      results and per-unit failure records.
+    """
+    workers = min(_JOBS, len(units))
+    attempts = [0] * len(units)
+    queue = list(range(len(units)))
+    failures = []
+    inflight = {}  # future -> (unit index, submit time)
+    pool = None
+
+    def make_pool():
+        return ProcessPoolExecutor(
+            max_workers=workers, mp_context=context,
+            initializer=_init_worker, initargs=initargs)
+
+    def requeue(uidx, error, charge=True):
+        """Retry *uidx* (with backoff when charged) or record failure."""
+        if not charge:
+            attempts[uidx] -= 1  # innocent bystander of a pool rebuild
+            queue.append(uidx)
+            return
+        if attempts[uidx] > _RETRIES:
+            failures.append(_unit_failure(units[uidx], attempts[uidx],
+                                          error))
+            return
+        if _BACKOFF:
+            time.sleep(_BACKOFF * (2 ** (attempts[uidx] - 1)))
+        queue.append(uidx)
+
+    try:
+        while queue or inflight:
+            if pool is None:
+                pool = make_pool()
+            while queue:
+                uidx = queue.pop(0)
+                attempts[uidx] += 1
+                try:
+                    future = pool.submit(_run_unit, units[uidx])
+                except BrokenProcessPool:
+                    attempts[uidx] -= 1
+                    queue.append(uidx)
+                    break
+                inflight[future] = (uidx, time.monotonic())
+            if not inflight:
+                if queue:  # submit hit a broken pool: rebuild
+                    _stop_pool(pool)
+                    pool = None
+                    continue
+                break
+            tick = None
+            if _TIMEOUT is not None:
+                deadline = min(t0 + _TIMEOUT
+                               for _, t0 in inflight.values())
+                tick = max(0.05, deadline - time.monotonic())
+            finished, _ = wait(list(inflight), timeout=tick,
+                               return_when=FIRST_COMPLETED)
+            broken = False
+            for future in finished:
+                uidx, _t0 = inflight.pop(future)
+                error = future.exception()
+                if error is None:
+                    merge(units[uidx], future.result())
+                elif isinstance(error, BrokenProcessPool):
+                    broken = True
+                    requeue(uidx, error)
+                else:
+                    requeue(uidx, error)
+            now = time.monotonic()
+            timed_out = set()
+            if _TIMEOUT is not None:
+                timed_out = {future
+                             for future, (_u, t0) in inflight.items()
+                             if now - t0 > _TIMEOUT}
+            if broken or timed_out:
+                # The pool is unusable (a worker died) or holds a
+                # possibly-hung worker: rebuild from scratch and
+                # re-enqueue everything that was in flight.
+                for future, (uidx, t0) in inflight.items():
+                    if future in timed_out:
+                        requeue(uidx, f"unit timeout "
+                                      f"(> {_TIMEOUT:g}s wall clock)")
+                    else:
+                        requeue(uidx, None, charge=False)
+                inflight.clear()
+                _stop_pool(pool)
+                pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+    if failures:
+        raise SweepFailure(failures, list(results))
 
 
 def format_table(headers, rows) -> str:

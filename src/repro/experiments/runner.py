@@ -66,21 +66,50 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="fan (benchmark x config) sweep points "
                              "across N worker processes (default: 1)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-unit wall-clock timeout for --jobs "
+                             "sweeps (default: 600; 0 disables)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-runs of a failed/timed-out/crashed "
+                             "sweep unit before the sweep is declared "
+                             "failed (default: 2)")
     args = parser.parse_args(argv)
     common.set_jobs(args.jobs)
+    if args.timeout is not None:
+        common.set_resilience(
+            timeout=None if args.timeout <= 0 else args.timeout)
+    if args.retries is not None:
+        common.set_resilience(retries=args.retries)
 
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
 
+    failed = []
     for name in selected:
         start = time.time()
-        result = EXPERIMENTS[name](fast=args.fast)
+        try:
+            result = EXPERIMENTS[name](fast=args.fast)
+        except common.SweepFailure as failure:
+            # Structured failure instead of a traceback mid-sweep: the
+            # report names the failing unit, its attempt count and a
+            # repro command; remaining experiments still run.
+            elapsed = time.time() - start
+            print(f"===== {name} ({elapsed:.1f}s) ===== FAILED",
+                  file=sys.stderr)
+            print(failure.report(), file=sys.stderr)
+            print(file=sys.stderr)
+            failed.append(name)
+            continue
         elapsed = time.time() - start
         print(f"===== {name} ({elapsed:.1f}s) =====")
         print(result["text"])
         print()
+    if failed:
+        print(f"FAILED experiments: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 

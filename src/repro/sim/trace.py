@@ -45,13 +45,11 @@ cache; ``repro-cc trace --profile`` dumps the counters.
 
 from __future__ import annotations
 
-import hashlib
-import os
-import pickle
 from array import array
 
 from ..memory.hierarchy import SystemConfig
 from ..memory.regions import STACK_TOP
+from ..store import STORE_COUNTER_KEYS, ArtifactStore, LRUCache, env_capacity
 from .engine import compile_program
 from .simulator import MemoryFault, SimError, Simulator
 
@@ -96,10 +94,36 @@ COUNTERS = {
     "sweep_numpy": 0,
     "grid_scalar": 0,
     "grid_numpy": 0,
+    # Bounded-memory in-process layers (PR 8): evictions from the
+    # trace LRU and from the per-trace kernel memos.
+    "trace_evictions": 0,
+    "memo_evictions": 0,
 }
 
-_TRACE_CACHE = {}
-_TRACE_DIR = None
+
+def _count_trace_eviction():
+    COUNTERS["trace_evictions"] += 1
+
+
+def _count_memo_eviction():
+    COUNTERS["memo_evictions"] += 1
+
+
+#: In-process trace table: bounded LRU (traces are the largest objects
+#: the process holds on to; REPRO_TRACE_CACHE_CAP / 0 = unbounded).
+_TRACE_CACHE = LRUCache(env_capacity("REPRO_TRACE_CACHE_CAP", 64),
+                        on_evict=_count_trace_eviction)
+
+#: Shared on-disk layer (:class:`repro.store.ArtifactStore`), or None.
+_TRACE_STORE = None
+
+#: Per-trace replay-kernel memo bound (entries are stream reductions
+#: comparable in size to the trace itself; REPRO_STREAM_MEMO_CAP).
+_MEMO_CAP = env_capacity("REPRO_STREAM_MEMO_CAP", 16)
+
+
+def _new_memo():
+    return LRUCache(_MEMO_CAP, on_evict=_count_memo_eviction)
 
 
 class Trace:
@@ -135,7 +159,7 @@ class Trace:
                  instructions, exit_code, console, spm_size):
         self._ops = ops
         self._runs = None
-        self._memo = {}
+        self._memo = _new_memo()
         self.op_counts = op_counts
         self.spm_counts = spm_counts
         self.base_cycles = base_cycles
@@ -209,7 +233,7 @@ class Trace:
         (self.op_counts, self.spm_counts, self.base_cycles,
          self.instructions, self.exit_code, self.console,
          self.spm_size) = rest
-        self._memo = {}
+        self._memo = _new_memo()
 
     @property
     def accesses(self) -> int:
@@ -400,14 +424,37 @@ def _image_spm_size(image) -> int:
 
 # -- the content-addressed trace cache --------------------------------------
 
-def set_trace_cache_dir(path):
-    """Enable (or with None disable) the shared on-disk trace layer."""
-    global _TRACE_DIR
-    _TRACE_DIR = None if path is None else str(path)
+def set_trace_cache_dir(path, max_bytes=None):
+    """Enable (or with None disable) the shared on-disk trace layer.
+
+    The layer is a checksummed, corruption-quarantining
+    :class:`repro.store.ArtifactStore`; *max_bytes* optionally caps it
+    with mtime-LRU garbage collection.
+    """
+    global _TRACE_STORE
+    _TRACE_STORE = (None if path is None else
+                    ArtifactStore(path, suffix=".trace.pkl",
+                                  max_bytes=max_bytes))
 
 
 def trace_cache_dir():
-    return _TRACE_DIR
+    return None if _TRACE_STORE is None else _TRACE_STORE.root
+
+
+def trace_store():
+    """The on-disk :class:`~repro.store.ArtifactStore`, or None."""
+    return _TRACE_STORE
+
+
+def set_trace_cache_capacity(capacity):
+    """Bound (or with None unbound) the in-process trace table."""
+    _TRACE_CACHE.set_capacity(capacity)
+
+
+def set_stream_memo_capacity(capacity):
+    """Per-trace kernel-memo bound for traces created afterwards."""
+    global _MEMO_CAP
+    _MEMO_CAP = capacity
 
 
 def clear_trace_caches():
@@ -416,12 +463,13 @@ def clear_trace_caches():
 
 
 def trace_counters() -> dict:
-    return dict(COUNTERS)
-
-
-def _trace_path(key):
-    digest = hashlib.sha256(repr(key).encode()).hexdigest()
-    return os.path.join(_TRACE_DIR, digest + ".trace.pkl")
+    """The in-process counters plus the disk store's, one flat dict."""
+    merged = dict(COUNTERS)
+    store_counts = (_TRACE_STORE.counters if _TRACE_STORE is not None
+                    else dict.fromkeys(STORE_COUNTER_KEYS, 0))
+    for key in STORE_COUNTER_KEYS:
+        merged[f"trace_store_{key}"] = store_counts[key]
+    return merged
 
 
 def trace_for(image, spm_size: int = None,
@@ -442,12 +490,10 @@ def trace_for(image, spm_size: int = None,
     if trace is not None:
         COUNTERS["trace_hits"] += 1
         return trace
-    if _TRACE_DIR is not None:
-        try:
-            with open(_trace_path(key), "rb") as handle:
-                trace = pickle.load(handle)
-        except (OSError, EOFError, pickle.PickleError, AttributeError):
-            trace = None
+    if _TRACE_STORE is not None:
+        # The store verifies the envelope checksum before unpickling;
+        # corrupt entries are quarantined and counted, never served.
+        trace = _TRACE_STORE.load(key)
         if trace is not None:
             _TRACE_CACHE[key] = trace
             COUNTERS["trace_hits"] += 1
@@ -456,13 +502,6 @@ def trace_for(image, spm_size: int = None,
     COUNTERS["trace_misses"] += 1
     trace = record_trace(image, spm_size, max_steps)
     _TRACE_CACHE[key] = trace
-    if _TRACE_DIR is not None:
-        path = _trace_path(key)
-        tmp = f"{path}.tmp{os.getpid()}"
-        try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(trace, handle, pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)  # atomic: concurrent workers never
-        except OSError:            # observe a half-written entry
-            pass
+    if _TRACE_STORE is not None:
+        _TRACE_STORE.store(key, trace)
     return trace

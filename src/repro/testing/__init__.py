@@ -1,0 +1,10 @@
+"""Reusable test infrastructure (deterministic fault injection)."""
+
+from .faults import (  # noqa: F401
+    FaultInjected,
+    corrupt_file,
+    reset_fault_counters,
+    store_write_fault,
+    truncate_file,
+    unit_fault,
+)

@@ -65,8 +65,13 @@ def clear_analysis_caches():
 
 
 def analysis_counters() -> dict:
-    """Merged cache/interning counters (``repro-cc wcet --profile``)."""
-    merged = dict(cacheanalysis.COUNTERS)
+    """Merged cache/interning counters (``repro-cc wcet --profile``).
+
+    Includes the on-disk reuse store's resilience counters
+    (``reuse_store_corrupt`` and friends), so silently-impossible
+    corruption handling stays observable.
+    """
+    merged = cacheanalysis.reuse_counters()
     merged.update(COUNTERS)
     return merged
 

@@ -68,13 +68,11 @@ Two engineering layers sit on top of the abstract domains (see
 
 from __future__ import annotations
 
-import hashlib
-import os
-import pickle
 from dataclasses import dataclass, field
 
 from ..isa.opcodes import Op
 from ..memory.cache import CacheConfig
+from ..store import STORE_COUNTER_KEYS, ArtifactStore, LRUCache, env_capacity
 from .accesses import resolve_all, resolve_data_access
 from .cfg import FunctionCFG
 
@@ -503,13 +501,24 @@ COUNTERS = {
     "reuse_hits": 0,
     "reuse_disk_hits": 0,
     "reuse_misses": 0,
+    "reuse_evictions": 0,
 }
 
 #: Bump when analysis semantics change: invalidates on-disk reuse entries.
 _CACHE_VERSION = "wcet-bitset-1"
 
-_REUSE_CACHE = {}
-_REUSE_DIR = None
+
+def _count_reuse_eviction():
+    COUNTERS["reuse_evictions"] += 1
+
+
+#: In-process reuse table: bounded LRU (REPRO_REUSE_CACHE_CAP knob,
+#: 0 = unbounded) instead of the unbounded dict it used to be.
+_REUSE_CACHE = LRUCache(env_capacity("REPRO_REUSE_CACHE_CAP", 512),
+                        on_evict=_count_reuse_eviction)
+
+#: Shared on-disk layer (:class:`repro.store.ArtifactStore`), or None.
+_REUSE_STORE = None
 
 
 def _intern(table, state):
@@ -524,14 +533,31 @@ def _intern(table, state):
     return state
 
 
-def set_analysis_cache_dir(path):
-    """Enable (or with None disable) the shared on-disk reuse layer."""
-    global _REUSE_DIR
-    _REUSE_DIR = None if path is None else str(path)
+def set_analysis_cache_dir(path, max_bytes=None):
+    """Enable (or with None disable) the shared on-disk reuse layer.
+
+    The layer is a checksummed, corruption-quarantining
+    :class:`repro.store.ArtifactStore`; *max_bytes* optionally caps it
+    with mtime-LRU garbage collection.
+    """
+    global _REUSE_STORE
+    _REUSE_STORE = (None if path is None else
+                    ArtifactStore(path, suffix=".pkl",
+                                  max_bytes=max_bytes))
 
 
 def analysis_cache_dir():
-    return _REUSE_DIR
+    return None if _REUSE_STORE is None else _REUSE_STORE.root
+
+
+def analysis_store():
+    """The on-disk :class:`~repro.store.ArtifactStore`, or None."""
+    return _REUSE_STORE
+
+
+def set_analysis_cache_capacity(capacity):
+    """Bound (or with None unbound) the in-process reuse table."""
+    _REUSE_CACHE.set_capacity(capacity)
 
 
 def clear_analysis_caches():
@@ -539,9 +565,14 @@ def clear_analysis_caches():
     _REUSE_CACHE.clear()
 
 
-def _reuse_path(key):
-    digest = hashlib.sha256(repr(key).encode()).hexdigest()
-    return os.path.join(_REUSE_DIR, digest + ".pkl")
+def reuse_counters() -> dict:
+    """The in-process counters plus the disk store's, one flat dict."""
+    merged = dict(COUNTERS)
+    store_counts = (_REUSE_STORE.counters if _REUSE_STORE is not None
+                    else dict.fromkeys(STORE_COUNTER_KEYS, 0))
+    for key in STORE_COUNTER_KEYS:
+        merged[f"reuse_store_{key}"] = store_counts[key]
+    return merged
 
 
 def _reuse_get(key):
@@ -549,12 +580,9 @@ def _reuse_get(key):
     if result is not None:
         COUNTERS["reuse_hits"] += 1
         return result
-    if _REUSE_DIR is not None:
-        try:
-            with open(_reuse_path(key), "rb") as handle:
-                result = pickle.load(handle)
-        except (OSError, EOFError, pickle.PickleError, AttributeError):
-            result = None
+    if _REUSE_STORE is not None:
+        # Envelope-checksummed load: corrupt entries quarantine + count.
+        result = _REUSE_STORE.load(key)
         if result is not None:
             _REUSE_CACHE[key] = result
             COUNTERS["reuse_hits"] += 1
@@ -566,15 +594,8 @@ def _reuse_get(key):
 
 def _reuse_put(key, result):
     _REUSE_CACHE[key] = result
-    if _REUSE_DIR is not None:
-        path = _reuse_path(key)
-        tmp = f"{path}.tmp{os.getpid()}"
-        try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(result, handle, pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)  # atomic: concurrent workers never
-        except OSError:            # observe a half-written entry
-            pass
+    if _REUSE_STORE is not None:
+        _REUSE_STORE.store(key, result)
 
 
 # --------------------------------------------------------------------------

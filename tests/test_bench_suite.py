@@ -67,6 +67,18 @@ def test_wcet_report_anchors():
         assert entry["cold_seconds"] >= entry["seconds"]
 
 
+def test_store_report_shape():
+    report = bench_suite.bench_store(rounds=1)
+    entry = report["store-overhead"]
+    assert entry["payload_bytes"] > 0
+    assert entry["pairs"] >= 24
+    assert entry["raw_seconds"] > 0
+    assert entry["store_seconds"] > 0
+    # The estimator is a per-pair median, so the ratio must be
+    # consistent with the two totals it summarises (same cycle count).
+    assert 0.5 < entry["overhead_ratio"] < 2.0
+
+
 def test_wcet_points_cover_all_shapes_and_benchmarks():
     labels = {label for label, _bench, _config in bench_suite.WCET_POINTS}
     assert len(labels) == 12

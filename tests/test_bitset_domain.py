@@ -324,7 +324,7 @@ class TestReuseCache:
         try:
             cacheanalysis.clear_analysis_caches()
             first = self._hierarchy(image, cfgs, rng, config)
-            assert list(tmp_path.glob("*.pkl"))
+            assert list(tmp_path.rglob("*.pkl"))  # sharded store layout
             # A "new process": empty memory layer, same directory.
             cacheanalysis.clear_analysis_caches()
             before = dict(cacheanalysis.COUNTERS)

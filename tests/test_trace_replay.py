@@ -281,13 +281,20 @@ def test_trace_disk_layer_roundtrip(tmp_path, fresh_trace_cache):
     assert reloaded.ops == first.ops
     assert reloaded.base_cycles == first.base_cycles
     assert reloaded.console == first.console
-    # Corrupt entries are ignored and re-recorded.
+    # Corrupt entries are quarantined (counted, moved aside — PR 8's
+    # store envelope makes "silently ignored" impossible) and the
+    # trace is re-recorded.
     clear_trace_caches()
-    for entry in tmp_path.iterdir():
+    entries = list(tmp_path.rglob("*.trace.pkl"))
+    assert entries, "store wrote no sharded entries"
+    for entry in entries:
         entry.write_bytes(b"not a pickle")
     again = trace_for(image, 0)
     assert counters["trace_records"] == 2
     assert again.ops == first.ops
+    store_counts = trace_mod.trace_counters()
+    assert store_counts["trace_store_corrupt"] >= 1
+    assert list((tmp_path / "corrupt").iterdir())
 
 
 # -- workflow integration: sweeps are served by one trace + one pass ---------
