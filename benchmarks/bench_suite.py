@@ -30,6 +30,12 @@ writes one JSON artefact per engine, next to this file:
   the raw-pickle disk idiom it replaced, as a paired median ratio.
   Unlike the other sections this gate is same-run (store vs raw on the
   same host, seconds apart), so it holds on any machine.
+* ``BENCH_serve.json`` — daemon round-trip throughput for the
+  ``repro-serve-load`` standard request mix against a freshly spawned
+  ``repro-serve`` daemon, with every response verified byte-identical
+  to direct evaluation.  The throughput number is what the dedup +
+  memo machinery buys (most of the mix coalesces); correctness is a
+  hard in-run gate (any verification failure aborts the section).
 
 Every timing is the best of ``--rounds`` (default 3)
 ``time.perf_counter`` runs (experiments run once: they are long and
@@ -77,6 +83,7 @@ SIM_REPORT = _HERE / "BENCH_simulator.json"
 WCET_REPORT = _HERE / "BENCH_wcet.json"
 EXPERIMENTS_REPORT = _HERE / "BENCH_experiments.json"
 STORE_REPORT = _HERE / "BENCH_store.json"
+SERVE_REPORT = _HERE / "BENCH_serve.json"
 
 #: The four hierarchy shapes every WCET benchmark is analysed under.
 WCET_SHAPES = (
@@ -329,6 +336,38 @@ def bench_store(rounds=3) -> dict:
     }}
 
 
+def bench_serve() -> dict:
+    """Daemon round-trip throughput for the standard serve load mix.
+
+    Spawns a real ``repro-serve`` daemon (own process, fresh private
+    cache), drives it with ``repro-serve-load``'s deterministic
+    request mix, and records client-side throughput and latency.  The
+    load generator verifies every response byte-identical to direct
+    evaluation and requires a clean SIGTERM drain — any failure aborts
+    the section rather than committing a number for a broken daemon.
+    The ``served`` breakdown (computed / coalesced / memo) is recorded
+    as a snapshot of the dedup economics, not gated: the exact split
+    races with client scheduling.
+    """
+    from repro.serve import loadgen
+
+    args = loadgen.build_parser().parse_args(
+        ["--requests", "120", "--clients", "4", "--benches", "crc,fir",
+         "--workers", "2", "--seed", "1234"])
+    code, metrics, failures = loadgen.run_load(args)
+    if code != 0:
+        raise RuntimeError(f"serve load run failed: {failures}")
+    return {"serve-load": {
+        "requests": metrics["requests"],
+        "clients": metrics["clients"],
+        "throughput_rps": metrics["throughput_rps"],
+        "latency_p50_ms": metrics["latency_ms"]["p50"],
+        "latency_p95_ms": metrics["latency_ms"]["p95"],
+        "served": metrics["served"],
+        "distinct_keys_verified": metrics["distinct_keys_verified"],
+    }}
+
+
 def bench_experiments() -> dict:
     """Wall time of every full-sweep experiment, runner-style.
 
@@ -380,7 +419,7 @@ def _check_seconds(kind, label, measured, base, floor, slack=0.0,
 
 
 def check(sim_report, wcet_report, experiments_report, tolerance,
-          store_report=None) -> int:
+          store_report=None, serve_report=None) -> int:
     """Compare fresh measurements against the committed baselines.
 
     Returns the number of regressions beyond *tolerance* (a fraction:
@@ -402,6 +441,24 @@ def check(sim_report, wcet_report, experiments_report, tolerance,
               f" {entry['pairs']} cycles  (median cycle ratio"
               f" {entry['overhead_ratio']:.3f}; gate 1.05x + 5ms)  {status}")
         failures += status != "ok"
+    if serve_report is not None:
+        if SERVE_REPORT.exists():
+            committed = json.loads(SERVE_REPORT.read_text())
+            for label, entry in serve_report.items():
+                base = committed.get(label, {}).get("throughput_rps")
+                if not base:
+                    continue
+                # Correctness already gated in-run (the load generator
+                # verified every response and the drain); the committed
+                # baseline only guards round-trip throughput.
+                ratio = entry["throughput_rps"] / base
+                status = "ok" if ratio >= floor else "REGRESSION"
+                print(f"srv  {label:12} {entry['throughput_rps']:>8}"
+                      f" req/s  ({ratio:.2f}x committed)  {status}")
+                failures += status != "ok"
+        else:
+            print(f"serve baseline {SERVE_REPORT.name} missing; "
+                  "nothing to check")
     if SIM_REPORT.exists():
         committed = json.loads(SIM_REPORT.read_text())
         for label, entry in sim_report.items():
@@ -465,12 +522,13 @@ def main(argv=None) -> int:
     sim_report = bench_simulator(args.rounds)
     wcet_report = bench_wcet(args.rounds)
     store_report = bench_store(args.rounds)
+    serve_report = bench_serve()
     experiments_report = (None if args.skip_experiments
                           else bench_experiments())
 
     if args.check:
         failures = check(sim_report, wcet_report, experiments_report,
-                         args.tolerance, store_report)
+                         args.tolerance, store_report, serve_report)
         if failures:
             print(f"{failures} benchmark(s) regressed beyond "
                   f"{100 * args.tolerance:.0f}%")
@@ -481,6 +539,7 @@ def main(argv=None) -> int:
     SIM_REPORT.write_text(json.dumps(sim_report, indent=2) + "\n")
     WCET_REPORT.write_text(json.dumps(wcet_report, indent=2) + "\n")
     STORE_REPORT.write_text(json.dumps(store_report, indent=2) + "\n")
+    SERVE_REPORT.write_text(json.dumps(serve_report, indent=2) + "\n")
     if experiments_report is not None:
         EXPERIMENTS_REPORT.write_text(
             json.dumps(experiments_report, indent=2) + "\n")
@@ -497,6 +556,10 @@ def main(argv=None) -> int:
     print(f"stor store-overhead  median cycle ratio "
           f"{entry['overhead_ratio']:.3f} vs raw pickle "
           f"({entry['payload_bytes']} byte payload)")
+    entry = serve_report["serve-load"]
+    print(f"srv  serve-load      {entry['throughput_rps']} req/s "
+          f"(p50 {entry['latency_p50_ms']}ms, "
+          f"p95 {entry['latency_p95_ms']}ms, served {entry['served']})")
     for label, entry in (experiments_report or {}).items():
         print(f"swp  {label:20} {entry['seconds']:.2f}s")
     return 0

@@ -29,6 +29,8 @@ setup(
             "repro-cc = repro.cli:main",
             "repro-gen = repro.gen.cli:main",
             "repro-experiments = repro.experiments.runner:main",
+            "repro-serve = repro.serve.cli:main",
+            "repro-serve-load = repro.serve.loadgen:main",
         ],
     },
 )

@@ -15,6 +15,9 @@ Subcommands (all take a mini-C source file):
 * ``sweep``      — record the trace once and price a full
   (size × associativity) cache-geometry grid in one replay pass
 * ``gen``        — the seeded workload generator (same as ``repro-gen``)
+* ``serve``      — the analysis-as-a-service daemon (same as
+  ``repro-serve``); ``cache stats --daemon SOCKET`` queries a running
+  daemon's dedup/backpressure/supervision counters
 * ``wcet``       — static WCET analysis; print the per-function report
 * ``compare``    — the paper's experiment on one program: sim vs. WCET
 * ``map``        — placement map (the linker's view)
@@ -421,6 +424,11 @@ def cmd_cache(args):
     """
     import os as _os
 
+    if args.daemon:
+        return _cache_daemon_stats(args)
+    if not args.dir:
+        raise SystemExit("cache: a store directory (or --daemon "
+                         "SOCKET) is required")
     from .store import ArtifactStore
     store = ArtifactStore(args.dir)
     if not _os.path.isdir(args.dir):
@@ -455,6 +463,52 @@ def cmd_cache(args):
     raise SystemExit(f"cache: unknown action {args.action!r}")
 
 
+def _cache_daemon_stats(args) -> int:
+    """``repro-cc cache stats --daemon SOCKET``: a live daemon's view.
+
+    Asks a running ``repro-serve`` for its serving counters (dedup
+    coalesces, memo hits, sheds, worker retries/rebuilds) and its
+    workers' shared store inventories — the daemon-side complement of
+    the on-disk ``stats`` action.
+    """
+    if args.action != "stats":
+        raise SystemExit("cache: --daemon supports only the stats "
+                         "action (the daemon owns its stores)")
+    from .serve.client import ServeClient, ServeTransportError
+    client = ServeClient(args.daemon, timeout=10.0)
+    try:
+        stats = client.stats()
+    except ServeTransportError as error:
+        raise SystemExit(f"cache: {error}") from None
+    finally:
+        client.close()
+    counters = stats["counters"]
+    memo = stats["memo"]
+    supervisor = stats.get("supervisor", {})
+    print(f"# daemon: {stats['socket']} (pid {stats['pid']}, "
+          f"up {stats['uptime_seconds']}s"
+          f"{', draining' if stats['draining'] else ''})")
+    print(f"# requests:     {counters['requests']} "
+          f"({counters['ok']} ok, {counters['invalid']} invalid, "
+          f"{counters['failed']} failed)")
+    print(f"# computed:     {counters['computed']}")
+    print(f"# coalesced:    {counters['coalesced']}")
+    print(f"# memo hits:    {counters['memo_hits']} "
+          f"({memo['entries']} entries, "
+          f"{memo['evictions']} evictions)")
+    print(f"# sheds:        {counters['sheds']}")
+    print(f"# deadline:     {counters['deadline_expired']} expired")
+    print(f"# supervision:  {supervisor.get('retries', 0)} retries, "
+          f"{supervisor.get('timeouts', 0)} timeouts, "
+          f"{supervisor.get('crashes', 0)} crashes, "
+          f"{supervisor.get('rebuilds', 0)} rebuilds")
+    for name, store in sorted(stats.get("stores", {}).items()):
+        print(f"# store {name}: {store['entries']} entries, "
+              f"{store['bytes']} bytes, "
+              f"{store['quarantined']} quarantined")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -463,6 +517,10 @@ def main(argv=None) -> int:
         # (argparse.REMAINDER cannot forward leading optionals).
         from .gen.cli import main as gen_main
         return gen_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Likewise for the serving daemon (repro-serve).
+        from .serve.cli import main as serve_main
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-cc",
         description="mini-C toolchain: simulate and bound embedded tasks")
@@ -550,14 +608,20 @@ def main(argv=None) -> int:
                             "failures; gc: enforce --max-bytes and "
                             "reap stale tmp files; clear: delete "
                             "every entry")
-    cache.add_argument("dir", help="store directory")
+    cache.add_argument("dir", nargs="?", default=None,
+                       help="store directory (omit with --daemon)")
     cache.add_argument("--max-bytes", type=int, default=None,
                        metavar="N", help="byte cap for gc (oldest "
                                          "entries evicted first)")
+    cache.add_argument("--daemon", default=None, metavar="SOCKET",
+                       help="stats of a running repro-serve daemon "
+                            "instead of an on-disk store")
     cache.set_defaults(func=cmd_cache)
 
     sub.add_parser("gen", add_help=False,
                    help="seeded mini-C workload generator (repro-gen)")
+    sub.add_parser("serve", add_help=False,
+                   help="analysis-as-a-service daemon (repro-serve)")
 
     args = parser.parse_args(argv)
     _apply_kernel(args)

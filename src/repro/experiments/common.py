@@ -29,11 +29,9 @@ import multiprocessing
 import os
 import shutil
 import tempfile
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 
 from ..benchmarks import get as get_benchmark
+from ..serve.supervisor import SupervisedPool, TaskFailure
 from ..sim.trace import set_trace_cache_dir
 from ..wcet.cacheanalysis import set_analysis_cache_dir
 from ..workflow import PAPER_SIZES, Workflow
@@ -275,17 +273,6 @@ def _unit_failure(unit, attempts, error) -> dict:
     }
 
 
-def _stop_pool(pool):
-    """Tear a pool down hard — hung or crashed workers included."""
-    processes = list(getattr(pool, "_processes", {}).values())
-    pool.shutdown(wait=False, cancel_futures=True)
-    for process in processes:
-        try:
-            process.kill()
-        except Exception:
-            pass
-
-
 def evaluate_points(tasks):
     """Evaluate task tuples; returns points in task order.
 
@@ -343,7 +330,10 @@ def evaluate_points(tasks):
 def _evaluate_parallel(units, merge, results, context, initargs):
     """The fault-tolerant fan-out behind :func:`evaluate_points`.
 
-    Invariants the resilience suite pins down:
+    One :class:`~repro.serve.supervisor.SupervisedPool` (the scheduler
+    this module's PR-8 pool-rebuild logic was refactored into, now
+    shared with the serving daemon) runs the planned units.  The
+    invariants the resilience suite pins down:
 
     * a unit that raises is retried with exponential backoff, up to
       ``retries`` re-runs;
@@ -358,92 +348,22 @@ def _evaluate_parallel(units, merge, results, context, initargs):
       other unit, then raises :class:`SweepFailure` with the partial
       results and per-unit failure records.
     """
-    workers = min(_JOBS, len(units))
-    attempts = [0] * len(units)
-    queue = list(range(len(units)))
+    pool = SupervisedPool(
+        _run_unit, min(_JOBS, len(units)), mp_context=context,
+        initializer=_init_worker, initargs=initargs,
+        timeout=_TIMEOUT, retries=_RETRIES, backoff=_BACKOFF,
+        name="evaluate-points")
     failures = []
-    inflight = {}  # future -> (unit index, submit time)
-    pool = None
-
-    def make_pool():
-        return ProcessPoolExecutor(
-            max_workers=workers, mp_context=context,
-            initializer=_init_worker, initargs=initargs)
-
-    def requeue(uidx, error, charge=True):
-        """Retry *uidx* (with backoff when charged) or record failure."""
-        if not charge:
-            attempts[uidx] -= 1  # innocent bystander of a pool rebuild
-            queue.append(uidx)
-            return
-        if attempts[uidx] > _RETRIES:
-            failures.append(_unit_failure(units[uidx], attempts[uidx],
-                                          error))
-            return
-        if _BACKOFF:
-            time.sleep(_BACKOFF * (2 ** (attempts[uidx] - 1)))
-        queue.append(uidx)
-
     try:
-        while queue or inflight:
-            if pool is None:
-                pool = make_pool()
-            while queue:
-                uidx = queue.pop(0)
-                attempts[uidx] += 1
-                try:
-                    future = pool.submit(_run_unit, units[uidx])
-                except BrokenProcessPool:
-                    attempts[uidx] -= 1
-                    queue.append(uidx)
-                    break
-                inflight[future] = (uidx, time.monotonic())
-            if not inflight:
-                if queue:  # submit hit a broken pool: rebuild
-                    _stop_pool(pool)
-                    pool = None
-                    continue
-                break
-            tick = None
-            if _TIMEOUT is not None:
-                deadline = min(t0 + _TIMEOUT
-                               for _, t0 in inflight.values())
-                tick = max(0.05, deadline - time.monotonic())
-            finished, _ = wait(list(inflight), timeout=tick,
-                               return_when=FIRST_COMPLETED)
-            broken = False
-            for future in finished:
-                uidx, _t0 = inflight.pop(future)
-                error = future.exception()
-                if error is None:
-                    merge(units[uidx], future.result())
-                elif isinstance(error, BrokenProcessPool):
-                    broken = True
-                    requeue(uidx, error)
-                else:
-                    requeue(uidx, error)
-            now = time.monotonic()
-            timed_out = set()
-            if _TIMEOUT is not None:
-                timed_out = {future
-                             for future, (_u, t0) in inflight.items()
-                             if now - t0 > _TIMEOUT}
-            if broken or timed_out:
-                # The pool is unusable (a worker died) or holds a
-                # possibly-hung worker: rebuild from scratch and
-                # re-enqueue everything that was in flight.
-                for future, (uidx, t0) in inflight.items():
-                    if future in timed_out:
-                        requeue(uidx, f"unit timeout "
-                                      f"(> {_TIMEOUT:g}s wall clock)")
-                    else:
-                        requeue(uidx, None, charge=False)
-                inflight.clear()
-                _stop_pool(pool)
-                pool = None
+        futures = [(pool.submit(unit), unit) for unit in units]
+        for future, unit in futures:
+            try:
+                merge(unit, future.result())
+            except TaskFailure as failure:
+                failures.append(_unit_failure(unit, failure.attempts,
+                                              failure.error))
     finally:
-        if pool is not None:
-            pool.shutdown(wait=True)
+        pool.shutdown()
     if failures:
         raise SweepFailure(failures, list(results))
 

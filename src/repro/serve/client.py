@@ -1,0 +1,167 @@
+"""Client for the serving daemon's JSON-lines socket protocol.
+
+:class:`ServeClient` is deliberately paranoid about the transport,
+because the daemon's connection layer is where ``REPRO_FAULT_SERVE``
+injects faults: a dropped response (EOF mid-request) reconnects and
+resends — safe because every evaluation is a pure function and the
+daemon dedups/memoises, so a resend coalesces instead of recomputing —
+garbage lines on the stream are skipped until a well-formed response
+with the matching request id appears, and stalls are bounded by the
+socket timeout.  ``overloaded`` responses are retried after the
+daemon's ``retry_after`` hint; every other error surfaces as a
+structured :class:`ServeError`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from .protocol import ProtocolError, decode, encode
+
+#: Give up resending across reconnects after this many transport
+#: failures for one request.
+TRANSPORT_RETRIES = 8
+
+#: Give up waiting out ``overloaded`` responses after this many sheds.
+OVERLOAD_RETRIES = 200
+
+#: Skip at most this many non-protocol lines while hunting for the
+#: response (the ``garbage`` serve fault writes such lines).
+MAX_GARBAGE_LINES = 64
+
+
+class ServeError(RuntimeError):
+    """A structured error response from the daemon.
+
+    Mirrors the protocol's error object: ``kind`` (one of
+    :data:`repro.serve.protocol.ERROR_KINDS`), ``message``, and the
+    optional ``retry_after`` / ``attempts`` / ``repro`` fields.
+    """
+
+    def __init__(self, error: dict):
+        self.kind = error.get("kind", "internal")
+        self.retry_after = error.get("retry_after")
+        self.attempts = error.get("attempts")
+        self.repro = error.get("repro")
+        super().__init__(
+            f"{self.kind}: {error.get('message', '(no message)')}")
+
+
+class ServeTransportError(ConnectionError):
+    """The daemon could not be reached (or kept dropping us)."""
+
+
+class ServeClient:
+    """One connection to a serving daemon (reconnects as needed)."""
+
+    def __init__(self, socket_path, *, timeout=120.0,
+                 retry_overloaded=True):
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self.retry_overloaded = retry_overloaded
+        self._sock = None
+        self._reader = None
+        self._next_id = 0
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def close(self):
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def _read_response(self, rid) -> dict:
+        """The next well-formed response for *rid*, skipping garbage."""
+        for _ in range(MAX_GARBAGE_LINES):
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError("connection closed by daemon")
+            if not line.strip():
+                continue
+            try:
+                response = decode(line)
+            except ProtocolError:
+                continue  # injected garbage / corrupted line: resync
+            if response.get("id") == rid:
+                return response
+        raise ConnectionError("no response found on stream "
+                              f"(> {MAX_GARBAGE_LINES} garbage lines)")
+
+    def request(self, request: dict) -> dict:
+        """Send one request, return its raw response envelope.
+
+        Reconnects and resends on transport failure (EOF, timeout,
+        refused) — idempotent by construction, since the daemon dedups
+        identical requests and memoises results.
+        """
+        if "id" not in request:
+            self._next_id += 1
+            request = dict(request, id=f"c{self._next_id}")
+        payload = encode(request)
+        last_error = None
+        for attempt in range(TRANSPORT_RETRIES + 1):
+            try:
+                if self._sock is None:
+                    self._connect()
+                self._sock.sendall(payload)
+                return self._read_response(request["id"])
+            except (OSError, ConnectionError) as error:
+                last_error = error
+                self.close()
+                time.sleep(min(0.05 * (attempt + 1), 0.5))
+        raise ServeTransportError(
+            f"daemon at {self.socket_path} unreachable after "
+            f"{TRANSPORT_RETRIES + 1} attempts: {last_error!r}")
+
+    # -- the convenient face -------------------------------------------------
+
+    def response(self, op: str, **fields) -> dict:
+        """Full response envelope for one op (retrying overload sheds)."""
+        request = {"op": op, **fields}
+        for _ in range(OVERLOAD_RETRIES):
+            response = self.request(dict(request))
+            error = response.get("error")
+            if (not response.get("ok") and error is not None
+                    and error.get("kind") == "overloaded"
+                    and self.retry_overloaded):
+                time.sleep(error.get("retry_after") or 0.05)
+                continue
+            return response
+        raise ServeError(error)
+
+    def call(self, op: str, **fields):
+        """Result payload for one op; raises :class:`ServeError`."""
+        response = self.response(op, **fields)
+        if response.get("ok"):
+            return response["result"]
+        raise ServeError(response.get("error", {}))
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def stats(self) -> dict:
+        return self.call("stats")

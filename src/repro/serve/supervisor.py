@@ -1,0 +1,333 @@
+"""Supervised worker pool: the one hardened process-fan-out scheduler.
+
+PR 8 taught ``repro.experiments.common.evaluate_points`` to survive
+crashed, hung and flaky workers: per-unit wall-clock timeouts, retry
+with exponential backoff, and tearing a broken/hung pool down (killing
+the processes) before rebuilding it and re-enqueueing everything that
+was merely in flight, uncharged.  The serving daemon needs exactly the
+same supervision — but as a *long-lived* service, not a run-to-
+completion batch.  This module is that logic extracted into a shared,
+submission-driven form:
+
+:class:`SupervisedPool` owns a background scheduler thread and a
+``ProcessPoolExecutor``.  :meth:`SupervisedPool.submit` hands one item
+to the pool's *runner* (a picklable module-level function) and returns
+a :class:`concurrent.futures.Future` that resolves to the runner's
+result — or to a :class:`TaskFailure` once the item has exhausted its
+retry budget.  The invariants the resilience suite pins down carry
+over verbatim:
+
+* a task that raises in the worker is retried with exponential
+  backoff, up to ``retries`` re-runs;
+* a worker crash (``BrokenProcessPool``) or a task exceeding the
+  per-task timeout tears the whole pool down (hung processes are
+  killed), rebuilds it, and re-enqueues everything that was in
+  flight — tasks merely caught in the rebuild do not lose an attempt;
+* at most ``workers`` tasks are dispatched to the executor at a time,
+  so the per-task timeout measures (approximately) execution, not
+  queueing, and a hung task cannot hide behind a deep executor queue;
+* the pool never blocks its callers on backoff sleeps: retries are
+  scheduled by ready-time inside the scheduler loop.
+
+Counters (``submitted`` / ``completed`` / ``failed`` / ``retries`` /
+``timeouts`` / ``crashes`` / ``rebuilds``) make the supervision
+observable; the daemon republishes them through its ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+
+#: Fresh counter block (:attr:`SupervisedPool.counters`).
+POOL_COUNTER_KEYS = (
+    "submitted", "completed", "failed", "retries", "timeouts",
+    "crashes", "rebuilds",
+)
+
+
+class TaskFailure(RuntimeError):
+    """A supervised task exhausted its retry budget.
+
+    Carries how many attempts were charged and the last error — an
+    exception instance for in-worker raises and crashes, a string for
+    timeouts — so callers can build structured reports
+    (:class:`repro.experiments.common.SweepFailure`, the daemon's
+    ``failed`` responses) without parsing a message.
+    """
+
+    def __init__(self, attempts: int, error):
+        self.attempts = attempts
+        self.error = error
+        super().__init__(
+            f"task failed after {attempts} attempt(s): "
+            f"{self.describe()}")
+
+    def describe(self) -> str:
+        if isinstance(self.error, BaseException):
+            return repr(self.error)
+        return str(self.error)
+
+
+class _Ticket:
+    """One submitted item's scheduling state."""
+
+    __slots__ = ("item", "future", "attempts", "not_before")
+
+    def __init__(self, item):
+        self.item = item
+        self.future = Future()
+        self.attempts = 0
+        self.not_before = 0.0
+
+
+def stop_pool(pool):
+    """Tear an executor down hard — hung or crashed workers included."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.kill()
+        except Exception:
+            pass
+
+
+class SupervisedPool:
+    """Process pool with crash/hang supervision and retry scheduling.
+
+    *runner* is the picklable function each worker applies to a
+    submitted item.  ``timeout`` is the per-task wall-clock budget in
+    seconds (None disables), ``retries`` the number of re-runs after a
+    task's first charged failure, ``backoff`` the base delay (doubling
+    per charged attempt) before a retry is dispatched again.
+    """
+
+    def __init__(self, runner, workers: int, *, mp_context=None,
+                 initializer=None, initargs=(), timeout=600.0,
+                 retries: int = 2, backoff: float = 0.25,
+                 name: str = "supervised-pool"):
+        self._runner = runner
+        self.workers = max(1, int(workers))
+        self._mp_context = mp_context
+        self._initializer = initializer
+        self._initargs = initargs
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        self.counters = dict.fromkeys(POOL_COUNTER_KEYS, 0)
+        self._outstanding = 0
+        self._closed = False
+        self._inbox = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._thread = threading.Thread(target=self._guarded_loop,
+                                        name=name, daemon=True)
+        self._thread.start()
+
+    # -- the public face -----------------------------------------------------
+
+    def submit(self, item) -> Future:
+        """Schedule *item*; the future resolves to the runner's result
+        or raises :class:`TaskFailure` after the retry budget."""
+        ticket = _Ticket(item)
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("pool is shut down")
+            self.counters["submitted"] += 1
+            self._outstanding += 1
+            self._inbox.append(ticket)
+            self._wake.notify()
+        return ticket.future
+
+    def idle(self) -> bool:
+        """True when no submitted task is pending or in flight."""
+        with self._lock:
+            return self._outstanding == 0
+
+    def drain(self, timeout=None) -> bool:
+        """Wait (up to *timeout* seconds) for every task to settle."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while not self.idle():
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+        return True
+
+    def shutdown(self):
+        """Stop the scheduler once every submitted task has settled."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify()
+        self._thread.join()
+
+    # -- the scheduler loop --------------------------------------------------
+
+    def _settle(self, ticket, result=None, error=None):
+        with self._lock:
+            self._outstanding -= 1
+        if error is None:
+            self.counters["completed"] += 1
+            ticket.future.set_result(result)
+        else:
+            self.counters["failed"] += 1
+            ticket.future.set_exception(
+                TaskFailure(ticket.attempts, error))
+
+    def _retry(self, ticket, error, pending):
+        """Charge *ticket* for a failed attempt: retry or fail it."""
+        if ticket.attempts > self.retries:
+            self._settle(ticket, error=error)
+            return
+        self.counters["retries"] += 1
+        delay = self.backoff * (2 ** (ticket.attempts - 1)) \
+            if self.backoff else 0.0
+        ticket.not_before = time.monotonic() + delay
+        pending.append(ticket)
+
+    def _make_pool(self):
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._mp_context,
+            initializer=self._initializer, initargs=self._initargs)
+        # Fork every worker up front instead of lazily on first
+        # submit.  On fork platforms a lazily-forked worker inherits
+        # every fd the parent has open at submit time — for the
+        # serving daemon that includes accepted client sockets, whose
+        # inherited duplicates then keep a connection alive (no EOF)
+        # long after the daemon closes its copy.  Eager forking
+        # happens while the pool owner has no such fds (the daemon
+        # builds its pool before binding the listener).
+        if hasattr(pool, "_adjust_process_count"):
+            for _ in range(self.workers):
+                pool._adjust_process_count()
+        return pool
+
+    def _guarded_loop(self):
+        try:
+            self._loop()
+        except BaseException as error:  # pragma: no cover - last resort
+            # Never strand callers blocked on futures: a scheduler bug
+            # fails every outstanding ticket instead of deadlocking.
+            with self._lock:
+                inbox = list(self._inbox)
+                self._inbox.clear()
+                self._closed = True
+            for ticket in inbox:
+                self._settle(ticket, error=error)
+            raise
+
+    def _loop(self):
+        pending = []   # tickets awaiting (re)dispatch
+        inflight = {}  # executor future -> (ticket, submit time)
+        pool = None
+        try:
+            while True:
+                with self._wake:
+                    while self._inbox:
+                        pending.append(self._inbox.popleft())
+                    if not pending and not inflight:
+                        if self._closed:
+                            break
+                        self._wake.wait(timeout=0.2)
+                        continue
+                now = time.monotonic()
+                # Dispatch ready tickets, at most ``workers`` in flight
+                # so the timeout clock measures execution, not queueing.
+                ready = [ticket for ticket in pending
+                         if ticket.not_before <= now]
+                rebuild = False
+                while ready and len(inflight) < self.workers:
+                    if pool is None:
+                        pool = self._make_pool()
+                    ticket = ready.pop(0)
+                    ticket.attempts += 1
+                    try:
+                        future = pool.submit(self._runner, ticket.item)
+                    except BrokenProcessPool:
+                        ticket.attempts -= 1  # uncharged: pool's fault
+                        rebuild = True
+                        break
+                    pending.remove(ticket)
+                    inflight[future] = (ticket, time.monotonic())
+                if inflight and not rebuild:
+                    finished = self._await_some(inflight, pending)
+                    broken = False
+                    for future in finished:
+                        ticket, _t0 = inflight.pop(future)
+                        error = future.exception()
+                        if error is None:
+                            self._settle(ticket, future.result())
+                        elif isinstance(error, BrokenProcessPool):
+                            broken = True
+                            self.counters["crashes"] += 1
+                            self._retry(ticket, error, pending)
+                        else:
+                            self._retry(ticket, error, pending)
+                    now = time.monotonic()
+                    timed_out = set()
+                    if self.timeout is not None:
+                        timed_out = {
+                            future
+                            for future, (_t, t0) in inflight.items()
+                            if now - t0 > self.timeout}
+                    if broken or timed_out:
+                        for future, (ticket, _t0) in inflight.items():
+                            if future in timed_out:
+                                self.counters["timeouts"] += 1
+                                self._retry(
+                                    ticket,
+                                    f"unit timeout (> {self.timeout:g}s "
+                                    "wall clock)", pending)
+                            else:
+                                # Innocent bystander of the rebuild.
+                                ticket.attempts -= 1
+                                ticket.not_before = 0.0
+                                pending.append(ticket)
+                        inflight.clear()
+                        rebuild = True
+                if rebuild:
+                    # A worker died or hangs: kill the whole pool and
+                    # start fresh (re-forked workers re-run their
+                    # initializer and count faults from zero).
+                    self.counters["rebuilds"] += 1
+                    if pool is not None:
+                        stop_pool(pool)
+                        pool = None
+                    continue
+                if not inflight and pending:
+                    # Everything is backing off; nap until the first
+                    # ticket is ready (or a new submission wakes us).
+                    delay = min(ticket.not_before
+                                for ticket in pending) - time.monotonic()
+                    if delay > 0:
+                        with self._wake:
+                            if not self._inbox:
+                                self._wake.wait(
+                                    timeout=min(delay, 0.2))
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+    def _await_some(self, inflight, pending):
+        """Block until progress is possible; return finished futures."""
+        tick = 0.1  # poll floor: new submissions and backoff wake-ups
+        if self.timeout is not None:
+            deadline = min(t0 + self.timeout
+                           for _, t0 in inflight.values())
+            tick = min(tick, max(0.02, deadline - time.monotonic()))
+        now = time.monotonic()
+        backing_off = [ticket.not_before for ticket in pending
+                       if ticket.not_before > now]
+        if backing_off:
+            tick = min(tick, max(0.02, min(backing_off) - now))
+        finished, _ = wait(list(inflight), timeout=tick,
+                           return_when=FIRST_COMPLETED)
+        return finished

@@ -310,12 +310,21 @@ class ArtifactStore:
 
     def _quarantine(self, path):
         """Move a bad entry into ``corrupt/`` (unlink if even that
-        fails) so it is counted once and never re-read as data."""
+        fails) so it is counted once and never re-read as data.
+
+        Safe against a live sibling process (a daemon next to a
+        runner) racing us to the same conclusion: if the entry is
+        already gone — quarantined or evicted by the sibling — there
+        is nothing to move, and we only keep our own count of having
+        observed the corruption.
+        """
         self.counters["corrupt"] += 1
         target = os.path.join(self.corrupt_dir(), os.path.basename(path))
         try:
             os.makedirs(self.corrupt_dir(), exist_ok=True)
             os.replace(path, target)
+        except FileNotFoundError:
+            return  # a sibling already moved or removed it
         except OSError:
             try:
                 os.unlink(path)
@@ -461,11 +470,17 @@ class ArtifactStore:
 
         Runs once automatically before the first write of each store
         instance; ``repro-cc cache gc`` and the tests call it directly
-        (with ``max_age=0`` to reap unconditionally).
+        (with ``max_age=0`` to reap unconditionally).  The age gate is
+        what makes this safe next to a live sibling process writing
+        the same store: a sibling's in-flight ``.tmp<pid>`` file lives
+        for milliseconds, never minutes.  Our *own* process's tmp
+        files are never reaped at any age — this instance may be
+        mid-write on another thread.
         """
         import time
         reaped = 0
         cutoff = time.time() - max_age
+        own = f".tmp{os.getpid()}"
         try:
             shards = os.scandir(self.root)
         except OSError:
@@ -483,6 +498,8 @@ class ArtifactStore:
                 for entry in files:
                     if ".tmp" not in entry.name or not entry.is_file():
                         continue
+                    if entry.name.endswith(own):
+                        continue
                     try:
                         if entry.stat().st_mtime <= cutoff:
                             os.unlink(entry.path)
@@ -496,7 +513,10 @@ class ArtifactStore:
         """Evict oldest-mtime entries until the store fits *max_bytes*.
 
         Also reaps stale tmp orphans.  Returns the number of entries
-        evicted.
+        evicted.  Tolerates a live sibling process gc-ing or rewriting
+        the same store concurrently: an entry that vanished between
+        the scan and our unlink still counts against the byte total
+        (its bytes are gone either way), just not as our eviction.
         """
         self.reap_tmp()
         entries = sorted(self._entries(), key=lambda e: (e[2], e[0]))
@@ -507,6 +527,9 @@ class ArtifactStore:
                 break
             try:
                 os.unlink(path)
+            except FileNotFoundError:
+                total -= size  # a sibling beat us to it
+                continue
             except OSError:
                 continue
             total -= size

@@ -24,7 +24,8 @@ lookup:
   - ``erofs``  — raise ``OSError(EROFS)`` (read-only filesystem).
 
 * ``REPRO_FAULT_UNIT`` — consulted at the top of
-  :func:`repro.experiments.common._run_unit`.  Spec
+  :func:`repro.experiments.common._run_unit` and of the serving
+  daemon's worker entry (:func:`repro.serve.worker.serve_unit`).  Spec
   ``<action>@<n>[@<once-path>]`` triggers on the *n*-th unit a process
   runs; when *once-path* is given the trigger fires **at most once
   globally** (the first process to atomically create that file wins),
@@ -38,14 +39,34 @@ lookup:
   - ``raise`` — raise :class:`FaultInjected` (an ordinary in-worker
     task failure, retried with backoff).
 
+A third injection point lives in the serving daemon's connection
+layer:
+
+* ``REPRO_FAULT_SERVE`` — consulted by
+  :meth:`repro.serve.daemon.ServeDaemon` just before each response is
+  written.  Spec ``<kind>@<n>[+]`` counts responses per daemon
+  process.  Kinds:
+
+  - ``drop``    — close the connection without responding (the client
+    sees EOF and must reconnect and resend);
+  - ``stall``   — sleep briefly before responding (a slow network /
+    overloaded peer);
+  - ``garbage`` — write a non-protocol line before the real response
+    (a corrupted stream the client must skip or resync past).
+
 File-corruption faults need no hooks at all: :func:`corrupt_file` /
 :func:`truncate_file` mutate committed store entries directly, which
 is exactly what a real bit flip or torn sector looks like to the
 reader.
 
 Counters are per-process; :func:`reset_fault_counters` reroots them
-between test cases (workers start fresh via fork-time state or their
-own first call).
+between test cases, and an ``os.register_at_fork`` hook reroots them
+in every forked child.  The fork hook is what makes ``@<n>`` specs
+(and the ``@once-path`` marker) mean the same thing in pool workers
+as in a fresh process: a worker forked from a parent that already
+consumed trigger counts would otherwise inherit them and count its
+own first unit as the parent's *k*-th — so ``crash@1@path`` would
+silently never fire in any worker once the parent had run one unit.
 """
 
 from __future__ import annotations
@@ -54,7 +75,7 @@ import os
 import time
 
 #: Per-process trigger counters, keyed by injection point.
-_COUNTS = {"store_write": 0, "unit": 0}
+_COUNTS = {"store_write": 0, "unit": 0, "serve": 0}
 
 
 class FaultInjected(RuntimeError):
@@ -64,6 +85,13 @@ class FaultInjected(RuntimeError):
 def reset_fault_counters():
     for key in _COUNTS:
         _COUNTS[key] = 0
+
+
+if hasattr(os, "register_at_fork"):
+    # Every forked child (pool workers above all) counts triggers from
+    # zero, exactly like a spawned one; the @once-path file remains the
+    # single cross-process at-most-once arbiter.
+    os.register_at_fork(after_in_child=reset_fault_counters)
 
 
 def _parse(spec: str):
@@ -108,10 +136,28 @@ def store_write_fault():
     return kind
 
 
+def serve_fault():
+    """The fault mode for this daemon response, or None.
+
+    Called by the serving daemon's response writer only when
+    ``REPRO_FAULT_SERVE`` is set.
+    """
+    spec = os.environ.get("REPRO_FAULT_SERVE")
+    if not spec:
+        return None
+    kind, n, repeat, _ = _parse(spec)
+    if kind not in ("drop", "stall", "garbage"):
+        raise ValueError(f"unknown serve fault {kind!r}")
+    if not _triggers("serve", n, repeat):
+        return None
+    return kind
+
+
 def unit_fault():
     """Maybe crash/hang/fail the current evaluation unit.
 
-    Called by :func:`repro.experiments.common._run_unit` only when
+    Called by :func:`repro.experiments.common._run_unit` and
+    :func:`repro.serve.worker.serve_unit` only when
     ``REPRO_FAULT_UNIT`` is set.
     """
     spec = os.environ.get("REPRO_FAULT_UNIT")

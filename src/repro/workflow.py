@@ -224,6 +224,18 @@ class Workflow:
         """
         return self._cache_sims(list(dict.fromkeys(caches)))
 
+    def sim_for(self, config: SystemConfig) -> SimResult:
+        """Trace-replayed simulation of the shared executable, no WCET.
+
+        Accepts any non-scratchpad level pipeline (placement would make
+        the executable config-dependent — use :meth:`spm_point` /
+        :meth:`hybrid_point` for those).  The serving daemon's
+        ``simulate`` op is answered from here.
+        """
+        if config.spm_size:
+            raise ValueError("use hybrid_point/spm_point for SPM pipelines")
+        return self._traced_sim(self.baseline_image(), config)
+
     # -- right branch: cache ----------------------------------------------------------
 
     def cache_point(self, cache: CacheConfig,

@@ -47,6 +47,7 @@ def _no_leftover_faults(monkeypatch):
     """Every test starts (and leaves) with fault injection disarmed."""
     monkeypatch.delenv("REPRO_FAULT_STORE_WRITE", raising=False)
     monkeypatch.delenv("REPRO_FAULT_UNIT", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_SERVE", raising=False)
     reset_fault_counters()
     yield
     reset_fault_counters()
@@ -649,3 +650,149 @@ class TestStoreTraceIntegration:
         finally:
             trace_mod._TRACE_STORE = saved
             trace_mod.clear_trace_caches()
+
+
+# --------------------------------------------------------------------------
+# Satellite (PR 9): the store under concurrent multi-process writers
+# --------------------------------------------------------------------------
+
+# Two unrelated processes hammer one store root: same keys, identical
+# values (content-addressed discipline), interleaved gc under a byte
+# budget small enough to force evictions *while* the sibling is
+# writing and reading the same entries.  Every sibling-induced race
+# (entry vanishing between listdir and stat/unlink, replace landing
+# over a fresh sibling write) must degrade to a miss or a recount —
+# never to an exception, and never to a false quarantine.
+_STRESS_WORKER = """
+import sys
+sys.path.insert(0, sys.argv[1])
+from repro.store import ArtifactStore
+
+store = ArtifactStore(sys.argv[2])
+for round in range(10):
+    for i in range(25):
+        value = [i] * (i % 7 + 1)
+        store.store(("stress", i), value)
+        loaded = store.load(("stress", i))
+        # A miss (sibling gc'd it) is legal; a different value is not.
+        assert loaded is None or loaded == value, (i, loaded)
+    store.gc(max_bytes=4096)
+report = store.verify()
+print("quarantined=%d" % report["quarantined"])
+"""
+
+
+class TestConcurrentStoreWriters:
+    def test_two_process_stress(self, tmp_path):
+        root = tmp_path / "shared-store"
+        first = subprocess.Popen(
+            [sys.executable, "-c", _STRESS_WORKER,
+             os.path.join(REPO, "src"), str(root)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        second = subprocess.Popen(
+            [sys.executable, "-c", _STRESS_WORKER,
+             os.path.join(REPO, "src"), str(root)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        for proc in (first, second):
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert "quarantined=0" in out, (out, err)
+        # The surviving store is healthy: nothing quarantined, every
+        # remaining entry loads back as the one true value.
+        store = ArtifactStore(root)
+        assert store.verify()["quarantined"] == 0
+        for i in range(25):
+            loaded = store.load(("stress", i))
+            assert loaded is None or loaded == [i] * (i % 7 + 1)
+
+    def test_reap_tmp_spares_own_inflight_files(self, tmp_path):
+        """reap only collects *foreign* orphans, never this pid's."""
+        store = ArtifactStore(tmp_path)
+        mine = tmp_path / f"x.pkl.tmp{os.getpid()}"
+        foreign = tmp_path / "x.pkl.tmp999999"
+        for path in (mine, foreign):
+            path.write_bytes(b"inflight")
+            os.utime(path, (time.time() - 3600, time.time() - 3600))
+        assert store.reap_tmp(max_age=60) == 1
+        assert mine.exists()
+        assert not foreign.exists()
+
+
+# --------------------------------------------------------------------------
+# Satellite (PR 9): serve-fault parsing + fork-reset trigger counting
+# --------------------------------------------------------------------------
+
+class TestServeFaultSpec:
+    def test_counts_per_process(self, monkeypatch):
+        from repro.testing import faults
+        monkeypatch.setenv("REPRO_FAULT_SERVE", "garbage@2")
+        assert faults.serve_fault() is None
+        assert faults.serve_fault() == "garbage"
+        assert faults.serve_fault() is None
+
+    def test_repeat_spec(self, monkeypatch):
+        from repro.testing import faults
+        monkeypatch.setenv("REPRO_FAULT_SERVE", "drop@2+")
+        assert faults.serve_fault() is None
+        assert faults.serve_fault() == "drop"
+        assert faults.serve_fault() == "drop"
+
+    def test_unknown_kind_rejected(self, monkeypatch):
+        from repro.testing import faults
+        monkeypatch.setenv("REPRO_FAULT_SERVE", "explode@1")
+        with pytest.raises(ValueError):
+            faults.serve_fault()
+
+    def test_unset_is_free(self):
+        from repro.testing import faults
+        assert faults.serve_fault() is None
+        assert faults._COUNTS["serve"] == 0
+
+
+def _fork_probe(queue):
+    """Runs in a forked child: report reset counter + fault outcome."""
+    from repro.testing import faults
+    inherited = faults._COUNTS["unit"]
+    try:
+        faults.unit_fault()
+        fired = False
+    except FaultInjected:
+        fired = True
+    queue.put((inherited, fired))
+
+
+@pytest.mark.skipif(not hasattr(os, "register_at_fork"),
+                    reason="needs fork hooks")
+class TestForkCounterReset:
+    def test_children_count_from_zero_and_once_path_is_global(
+            self, tmp_path, monkeypatch):
+        """The PR-9 fix: @n triggers and @once-path arbitration behave
+        identically in forked pool workers and fresh processes.
+
+        The parent burns trigger counts first; without the at-fork
+        reset each child would inherit them and ``raise@1@path`` could
+        never fire in any worker.  With it, the *first* child fires
+        (and claims the once-file); the second child's trigger also
+        counts from zero but loses the once-file race.
+        """
+        import multiprocessing
+        from repro.testing import faults
+        once = tmp_path / "once.marker"
+        monkeypatch.setenv("REPRO_FAULT_UNIT", f"raise@1@{once}")
+        # Parent consumes trigger counts (but not the once-file: its
+        # own calls already passed n=1 by the time the env is read).
+        faults._COUNTS["unit"] = 5
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        for _ in range(2):
+            child = context.Process(target=_fork_probe, args=(queue,))
+            child.start()
+            child.join(30)
+            assert child.exitcode == 0
+        results = sorted(queue.get(timeout=10) for _ in range(2))
+        # Both children saw a zeroed counter; exactly one fired.
+        assert [inherited for inherited, _ in results] == [0, 0]
+        assert [fired for _, fired in results] == [False, True]
+        assert once.exists()
+        # The parent's own counter is untouched by the fork hook.
+        assert faults._COUNTS["unit"] == 5

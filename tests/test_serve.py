@@ -1,0 +1,452 @@
+"""The analysis-as-a-service daemon (PR 9).
+
+The serving invariant mirrors the resilience suite's: **anything the
+daemon answers is byte-identical to evaluating the same request
+directly**, whatever path produced it — freshly computed, coalesced
+onto an in-flight twin, served from the memo, retried past a killed
+worker, or resent across an injected transport fault.  Around that
+sit the robustness behaviours ISSUE 9 pins down: request dedup,
+bounded admission with backpressure, per-waiter deadlines with
+copy-pasteable repro commands, supervised worker recovery, and
+graceful SIGTERM drain.
+
+Most tests run the daemon in-process (:class:`ServeDaemon` is
+embeddable); the drain test and the load-generator test exercise the
+real ``repro-serve`` / ``repro-serve-load`` entry points as
+subprocesses.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError, ServeTransportError
+from repro.serve.daemon import ServeDaemon
+from repro.serve.protocol import (
+    ProtocolError,
+    canonical_request,
+    decode,
+    encode,
+    repro_command,
+    request_key,
+)
+from repro.serve.worker import evaluate_request, rerun_request
+from repro.testing.faults import reset_fault_counters
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+TINY_SOURCE = """
+int main(void) {
+    int i; int acc = 0;
+    for (i = 0; i < 16; i = i + 1) acc = acc + i;
+    return acc & 255;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_STORE_WRITE", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_UNIT", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_SERVE", raising=False)
+    reset_fault_counters()
+    yield
+    reset_fault_counters()
+
+
+@pytest.fixture
+def daemon_factory(tmp_path):
+    daemons = []
+
+    def make(**kwargs):
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("cache_dir", None)
+        daemon = ServeDaemon(
+            str(tmp_path / f"d{len(daemons)}.sock"), **kwargs)
+        daemon.start()
+        daemons.append(daemon)
+        return daemon
+
+    yield make
+    for daemon in daemons:
+        daemon.drain(timeout=10.0)
+
+
+# --------------------------------------------------------------------------
+# Protocol: canonicalisation, request identity, validation
+# --------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_defaults_fill_in(self):
+        bare = canonical_request({"op": "simulate", "bench": "crc"})
+        explicit = canonical_request(
+            {"op": "simulate", "bench": "crc", "config": {},
+             "id": "x", "deadline": 5.0})
+        assert bare == explicit
+        assert request_key(bare) == request_key(explicit)
+        assert "id" not in bare and "deadline" not in bare
+
+    def test_non_default_config_changes_key(self):
+        small = canonical_request(
+            {"op": "wcet", "bench": "crc", "config": {"cache": 256}})
+        big = canonical_request(
+            {"op": "wcet", "bench": "crc", "config": {"cache": 512}})
+        assert small["config"] == {"cache": 256}
+        assert request_key(small) != request_key(big)
+
+    def test_source_keyed_by_sha(self):
+        canonical = canonical_request(
+            {"op": "compile", "source": TINY_SOURCE})
+        assert canonical["source"] == TINY_SOURCE
+        key = request_key(canonical)
+        assert TINY_SOURCE not in key
+        assert "source_sha256" in key
+        again = canonical_request(
+            {"op": "compile", "source": TINY_SOURCE})
+        assert request_key(again) == key
+
+    @pytest.mark.parametrize("request_", [
+        {"op": "explode"},
+        {"op": "simulate"},                                # no target
+        {"op": "simulate", "bench": "crc", "source": "x"},  # both
+        {"op": "simulate", "bench": "no-such-bench"},
+        {"op": "simulate", "bench": "gen:notanumber"},
+        {"op": "wcet", "bench": "crc", "config": {"nope": 1}},
+        {"op": "wcet", "bench": "crc", "config": {"alloc": "magic"}},
+        {"op": "wcet", "bench": "crc", "config": {"cache": -4}},
+        {"op": "wcet", "bench": "crc",
+         "config": {"spm": 256, "l2": 1024}},              # unservable
+        {"op": "sweep", "bench": "crc", "sizes": []},
+        {"op": "sweep", "bench": "crc", "sizes": [100]},   # not 2^n
+        {"op": "grid", "bench": "crc", "sizes": [256]},    # no assocs
+        {"op": "sleep", "seconds": -1},
+        {"op": "sleep", "seconds": 1e9},
+    ])
+    def test_malformed_requests_rejected(self, request_):
+        with pytest.raises(ProtocolError):
+            canonical_request(request_)
+
+    def test_wire_roundtrip(self):
+        message = {"op": "ping", "id": 7}
+        assert decode(encode(message)) == message
+        with pytest.raises(ProtocolError):
+            decode(b"\x00<<not-json>>\xff\n")
+        with pytest.raises(ProtocolError):
+            decode(b"[1,2,3]\n")
+
+    def test_repro_command_reruns_the_request(self, capsys):
+        canonical = canonical_request({"op": "sleep", "seconds": 0})
+        command = repro_command(canonical)
+        assert "rerun_request" in command
+        assert "PYTHONPATH=src" in command
+        rerun_request(json.dumps(canonical))
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == evaluate_request(canonical)
+
+
+# --------------------------------------------------------------------------
+# The daemon in-process: dedup, backpressure, deadlines, recovery
+# --------------------------------------------------------------------------
+
+class TestServeDaemon:
+    def test_ping_and_stats_inline(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        with ServeClient(daemon.socket_path) as client:
+            ping = client.ping()
+            assert ping["protocol"] == 1
+            stats = client.stats()
+        assert stats["workers"] == 1
+        assert stats["counters"]["requests"] >= 2
+        assert stats["counters"]["computed"] == 0  # inline ops only
+
+    def test_identical_concurrent_requests_compute_once(
+            self, daemon_factory):
+        daemon = daemon_factory(workers=2)
+        responses = []
+
+        def one_request():
+            with ServeClient(daemon.socket_path) as client:
+                responses.append(
+                    client.response("sleep", seconds=0.4))
+
+        threads = [threading.Thread(target=one_request)
+                   for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert len(responses) == 6
+        assert all(r["ok"] for r in responses)
+        assert all(r["result"] == {"slept": 0.4} for r in responses)
+        served = sorted(r["served"] for r in responses)
+        assert served.count("computed") == 1
+        assert daemon.counters["computed"] == 1
+        assert (daemon.counters["coalesced"]
+                + daemon.counters["memo_hits"]) == 5
+        # A latecomer is answered from the bounded memo.
+        with ServeClient(daemon.socket_path) as client:
+            late = client.response("sleep", seconds=0.4)
+        assert late["served"] == "memo"
+        assert late["result"] == responses[0]["result"]
+
+    def test_backpressure_sheds_when_queue_full(self, daemon_factory):
+        daemon = daemon_factory(workers=1, queue_depth=1,
+                                retry_after=0.2)
+        occupier = threading.Thread(
+            target=lambda: ServeClient(daemon.socket_path)
+            .call("sleep", seconds=1.0))
+        occupier.start()
+        deadline = time.monotonic() + 5.0
+        while not daemon.counters["computed"]:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        with ServeClient(daemon.socket_path,
+                         retry_overloaded=False) as client:
+            with pytest.raises(ServeError) as shed:
+                client.call("sleep", seconds=0.9)
+        assert shed.value.kind == "overloaded"
+        assert shed.value.retry_after == 0.2
+        assert daemon.counters["sheds"] == 1
+        occupier.join(30)
+        # With retry_overloaded on, the same request eventually lands.
+        with ServeClient(daemon.socket_path) as client:
+            assert client.call("sleep", seconds=0.9) == {"slept": 0.9}
+
+    def test_deadline_expires_waiter_not_work(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        with ServeClient(daemon.socket_path) as client:
+            with pytest.raises(ServeError) as expired:
+                client.call("sleep", seconds=1.0, deadline=0.2)
+            assert expired.value.kind == "deadline"
+            assert "rerun_request" in expired.value.repro
+            # The computation kept running; a patient waiter gets it.
+            patient = client.response("sleep", seconds=1.0)
+        assert patient["ok"]
+        assert patient["served"] in ("coalesced", "memo")
+        assert daemon.counters["deadline_expired"] == 1
+        assert daemon.counters["computed"] == 1
+
+    def test_invalid_deadline_rejected(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        with ServeClient(daemon.socket_path) as client:
+            with pytest.raises(ServeError) as rejected:
+                client.call("sleep", seconds=0, deadline="soon")
+        assert rejected.value.kind == "invalid"
+
+    def test_invalid_request_never_queued(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        with ServeClient(daemon.socket_path) as client:
+            with pytest.raises(ServeError) as rejected:
+                client.call("simulate", bench="no-such-bench")
+        assert rejected.value.kind == "invalid"
+        assert daemon.counters["invalid"] == 1
+        assert daemon.counters["computed"] == 0
+
+    def test_worker_crash_recovers_and_answers(
+            self, daemon_factory, tmp_path, monkeypatch):
+        # The first unit any worker runs kills that worker outright
+        # (at most once globally); supervision must rebuild the pool,
+        # re-run the unit, and still answer this request correctly.
+        monkeypatch.setenv(
+            "REPRO_FAULT_UNIT",
+            f"crash@1@{tmp_path / 'crash.once'}")
+        daemon = daemon_factory(workers=2)
+        with ServeClient(daemon.socket_path) as client:
+            assert client.call("sleep", seconds=0.1) == {"slept": 0.1}
+        supervisor = daemon.stats()["supervisor"]
+        assert supervisor["crashes"] >= 1
+        assert supervisor["rebuilds"] >= 1
+        assert daemon.counters["ok"] >= 1
+
+    def test_failed_unit_reports_attempts_and_repro(
+            self, daemon_factory, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_UNIT", "raise@1+")
+        daemon = daemon_factory(workers=1, retries=1, backoff=0.01)
+        with ServeClient(daemon.socket_path) as client:
+            with pytest.raises(ServeError) as failed:
+                client.call("sleep", seconds=0)
+        assert failed.value.kind == "failed"
+        assert failed.value.attempts == 2  # one try + one retry
+        assert "rerun_request" in failed.value.repro
+        assert daemon.counters["failed"] == 1
+
+    def test_live_socket_is_not_stolen(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        usurper = ServeDaemon(daemon.socket_path, workers=1)
+        with pytest.raises(RuntimeError, match="live daemon"):
+            usurper.start()
+        # The original daemon is unharmed.
+        with ServeClient(daemon.socket_path) as client:
+            assert client.ping()["protocol"] == 1
+
+
+# --------------------------------------------------------------------------
+# Injected transport faults: the client survives the daemon's worst
+# --------------------------------------------------------------------------
+
+class TestServeTransportFaults:
+    def test_garbage_lines_are_skipped(self, daemon_factory,
+                                       monkeypatch):
+        daemon = daemon_factory(workers=1)
+        monkeypatch.setenv("REPRO_FAULT_SERVE", "garbage@1+")
+        with ServeClient(daemon.socket_path) as client:
+            for _ in range(3):
+                assert client.call("sleep", seconds=0) == {"slept": 0.0}
+
+    def test_dropped_response_resends_and_coalesces(
+            self, daemon_factory, monkeypatch):
+        daemon = daemon_factory(workers=1)
+        monkeypatch.setenv("REPRO_FAULT_SERVE", "drop@1")
+        with ServeClient(daemon.socket_path) as client:
+            assert client.call("sleep", seconds=0.3) == {"slept": 0.3}
+        # The resend after EOF found the first attempt's computation.
+        assert daemon.counters["computed"] == 1
+        assert (daemon.counters["coalesced"]
+                + daemon.counters["memo_hits"]) >= 1
+
+    def test_unreachable_daemon_raises_transport_error(self, tmp_path):
+        client = ServeClient(str(tmp_path / "nobody.sock"))
+        with pytest.raises(ServeTransportError):
+            client.ping()
+
+
+# --------------------------------------------------------------------------
+# Served answers are byte-identical to direct Workflow evaluation
+# --------------------------------------------------------------------------
+
+class TestServedEqualsDirect:
+    def test_wcet_simulate_compile_match_direct(self, daemon_factory):
+        from repro.experiments.common import workflow_for
+        from repro.serve.protocol import system_config
+
+        daemon = daemon_factory(workers=2, warm=("crc",))
+        requests = [
+            {"op": "compile", "bench": "crc"},
+            {"op": "simulate", "bench": "crc"},
+            {"op": "wcet", "bench": "crc", "config": {"cache": 256}},
+            {"op": "compile", "source": TINY_SOURCE},
+        ]
+        with ServeClient(daemon.socket_path) as client:
+            served = [client.call(r["op"], **{k: v
+                                              for k, v in r.items()
+                                              if k != "op"})
+                      for r in requests]
+        direct = [evaluate_request(canonical_request(r))
+                  for r in requests]
+        for request, got, want in zip(requests, served, direct):
+            assert (json.dumps(got, sort_keys=True)
+                    == json.dumps(want, sort_keys=True)), request
+        # And against the Workflow API itself, not just the worker's
+        # wrapping of it.
+        workflow = workflow_for("crc")
+        assert served[0] == {
+            "content_key": workflow.baseline_image().content_key()}
+        point = workflow.config_point(
+            system_config({"cache": 256}), False)
+        assert served[2] == point.row()
+
+    def test_sweep_and_grid_match_direct(self, daemon_factory):
+        daemon = daemon_factory(workers=2, warm=("crc",))
+        requests = [
+            {"op": "sweep", "bench": "crc", "sizes": [128, 256]},
+            {"op": "grid", "bench": "crc", "sizes": [128, 256],
+             "assocs": [1, 2]},
+        ]
+        with ServeClient(daemon.socket_path) as client:
+            served = [client.call(r["op"], **{k: v
+                                              for k, v in r.items()
+                                              if k != "op"})
+                      for r in requests]
+        for request, got in zip(requests, served):
+            want = evaluate_request(canonical_request(request))
+            assert (json.dumps(got, sort_keys=True)
+                    == json.dumps(want, sort_keys=True)), request
+
+
+# --------------------------------------------------------------------------
+# The real entry points: SIGTERM drain + the load generator
+# --------------------------------------------------------------------------
+
+def _spawn_serve_cli(socket_path, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.cli",
+         "--socket", str(socket_path), "--workers", "1",
+         "--cache-dir", "none", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    client = ServeClient(str(socket_path), timeout=30.0)
+    deadline = time.monotonic() + 60.0
+    while True:
+        try:
+            client.ping()
+            return process, client
+        except (ServeTransportError, OSError):
+            if (process.poll() is not None
+                    or time.monotonic() > deadline):
+                process.kill()
+                raise RuntimeError(
+                    f"daemon never came up: {process.stdout.read()}")
+            time.sleep(0.05)
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_inflight_and_exits_zero(self, tmp_path):
+        process, client = _spawn_serve_cli(tmp_path / "drain.sock")
+        try:
+            inflight = {}
+
+            def slow_request():
+                inflight["response"] = client.response(
+                    "sleep", seconds=1.5)
+
+            waiter = threading.Thread(target=slow_request)
+            waiter.start()
+            # Make sure the request is admitted before the signal.
+            probe = ServeClient(str(tmp_path / "drain.sock"))
+            deadline = time.monotonic() + 10.0
+            while not probe.stats()["counters"]["computed"]:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            probe.close()
+            process.send_signal(signal.SIGTERM)
+            waiter.join(30)
+            # The in-flight request was answered, not abandoned.
+            assert inflight["response"]["ok"]
+            assert inflight["response"]["result"] == {"slept": 1.5}
+            assert process.wait(timeout=30) == 0
+        finally:
+            client.close()
+            if process.poll() is None:
+                process.kill()
+        output = process.stdout.read()
+        assert "repro-serve: draining" in output
+        assert "final stats" in output
+        # The socket was removed on the way out.
+        assert not os.path.exists(tmp_path / "drain.sock")
+
+
+class TestLoadGenerator:
+    def test_quick_load_with_faults_verifies_and_drains(
+            self, monkeypatch):
+        # The CI smoke in miniature: a fault-slice load run whose every
+        # response must verify byte-identical to direct evaluation.
+        from repro.serve import loadgen
+        monkeypatch.setenv("REPRO_FAULT_SERVE", "garbage@5+")
+        args = loadgen.build_parser().parse_args(
+            ["--requests", "30", "--clients", "3", "--benches", "crc",
+             "--workers", "2", "--seed", "99"])
+        exit_code, metrics, failures = loadgen.run_load(args)
+        assert failures == []
+        assert exit_code == 0
+        assert metrics["ok"] == 30
+        assert metrics["daemon_exit_code"] == 0
+        assert metrics["distinct_keys_verified"] >= 1
