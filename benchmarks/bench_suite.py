@@ -351,21 +351,29 @@ def bench_serve() -> dict:
     """
     from repro.serve import loadgen
 
-    args = loadgen.build_parser().parse_args(
-        ["--requests", "120", "--clients", "4", "--benches", "crc,fir",
-         "--workers", "2", "--seed", "1234"])
-    code, metrics, failures = loadgen.run_load(args)
-    if code != 0:
-        raise RuntimeError(f"serve load run failed: {failures}")
-    return {"serve-load": {
-        "requests": metrics["requests"],
-        "clients": metrics["clients"],
-        "throughput_rps": metrics["throughput_rps"],
-        "latency_p50_ms": metrics["latency_ms"]["p50"],
-        "latency_p95_ms": metrics["latency_ms"]["p95"],
-        "served": metrics["served"],
-        "distinct_keys_verified": metrics["distinct_keys_verified"],
-    }}
+    mix = ["--requests", "120", "--clients", "4",
+           "--benches", "crc,fir", "--workers", "2", "--seed", "1234"]
+    report = {}
+    # Two transports, same mix: the unix row is the PR-9 baseline, the
+    # tcp row (one authenticated daemon behind the cluster client)
+    # prices the AF_INET handshake + framing on identical work.
+    for label, extra in (("serve-load", []),
+                         ("serve-load-tcp", ["--spawn-cluster", "1"])):
+        args = loadgen.build_parser().parse_args(mix + extra)
+        code, metrics, failures = loadgen.run_load(args)
+        if code != 0:
+            raise RuntimeError(
+                f"serve load run ({label}) failed: {failures}")
+        report[label] = {
+            "requests": metrics["requests"],
+            "clients": metrics["clients"],
+            "throughput_rps": metrics["throughput_rps"],
+            "latency_p50_ms": metrics["latency_ms"]["p50"],
+            "latency_p95_ms": metrics["latency_ms"]["p95"],
+            "served": metrics["served"],
+            "distinct_keys_verified": metrics["distinct_keys_verified"],
+        }
+    return report
 
 
 def bench_experiments() -> dict:
@@ -556,10 +564,11 @@ def main(argv=None) -> int:
     print(f"stor store-overhead  median cycle ratio "
           f"{entry['overhead_ratio']:.3f} vs raw pickle "
           f"({entry['payload_bytes']} byte payload)")
-    entry = serve_report["serve-load"]
-    print(f"srv  serve-load      {entry['throughput_rps']} req/s "
-          f"(p50 {entry['latency_p50_ms']}ms, "
-          f"p95 {entry['latency_p95_ms']}ms, served {entry['served']})")
+    for label, entry in serve_report.items():
+        print(f"srv  {label:15} {entry['throughput_rps']} req/s "
+              f"(p50 {entry['latency_p50_ms']}ms, "
+              f"p95 {entry['latency_p95_ms']}ms, "
+              f"served {entry['served']})")
     for label, entry in (experiments_report or {}).items():
         print(f"swp  {label:20} {entry['seconds']:.2f}s")
     return 0

@@ -2,26 +2,40 @@
 
 :class:`ServeClient` is deliberately paranoid about the transport,
 because the daemon's connection layer is where ``REPRO_FAULT_SERVE``
-injects faults: a dropped response (EOF mid-request) reconnects and
-resends — safe because every evaluation is a pure function and the
-daemon dedups/memoises, so a resend coalesces instead of recomputing —
-garbage lines on the stream are skipped until a well-formed response
-with the matching request id appears, and stalls are bounded by the
-socket timeout.  ``overloaded`` responses are retried after the
-daemon's ``retry_after`` hint; every other error surfaces as a
-structured :class:`ServeError`.
+and ``REPRO_FAULT_NET`` inject faults: a dropped response (EOF or a
+TCP reset mid-request) reconnects and resends — safe because every
+evaluation is a pure function and the daemon dedups/memoises, so a
+resend coalesces instead of recomputing — garbage lines on the stream
+are skipped until a well-formed response with the matching request id
+appears, and stalls/partitions are bounded by the socket timeout.
+``overloaded`` responses are retried after the daemon's ``retry_after``
+hint; every other error surfaces as a structured :class:`ServeError`.
+
+Addresses follow the :mod:`repro.serve.transport` scheme —
+``unix:/path`` (or a bare path) and ``tcp://host:port``, the latter
+authenticated with *auth_key* — so the client is transport-agnostic:
+the wire protocol and error taxonomy are identical either way.
+
+Reconnect backoff is exponential from *backoff* capped at
+*backoff_cap*, plus uniform jitter bounded by *jitter* (the jitter
+cap) so a fleet of clients hammering a recovering daemon doesn't
+reconnect in lockstep; *max_retries* bounds the resend budget.  The
+``counters`` dict (``client_reconnects`` / ``client_failovers`` /
+``client_hedges``) feeds the load generator's ``--profile`` metrics;
+the failover/hedge slots are owned by
+:class:`~repro.serve.cluster.ClusterClient`, which aggregates its
+members' counters into the same block.
 """
 
 from __future__ import annotations
 
-import json
-import socket
+import random
 import time
 
 from .protocol import ProtocolError, decode, encode
+from .transport import AuthError, connect as transport_connect
 
-#: Give up resending across reconnects after this many transport
-#: failures for one request.
+#: Default resend budget across reconnects for one request.
 TRANSPORT_RETRIES = 8
 
 #: Give up waiting out ``overloaded`` responses after this many sheds.
@@ -30,6 +44,26 @@ OVERLOAD_RETRIES = 200
 #: Skip at most this many non-protocol lines while hunting for the
 #: response (the ``garbage`` serve fault writes such lines).
 MAX_GARBAGE_LINES = 64
+
+#: Fresh client counter block (shared with :class:`ClusterClient`).
+CLIENT_COUNTER_KEYS = (
+    "client_reconnects", "client_failovers", "client_hedges",
+)
+
+
+def reconnect_delay(attempt: int, *, base=0.05, cap=0.5, jitter=0.1,
+                    rng=None) -> float:
+    """Backoff before transport retry *attempt* (1-based).
+
+    Exponential from *base*, capped at *cap*, plus uniform jitter in
+    ``[0, jitter]`` — the jitter *cap* bounds the random part
+    absolutely, so the worst-case delay is exactly ``cap + jitter``
+    and a test can pin the whole schedule by passing ``jitter=0``.
+    """
+    delay = min(cap, base * (2 ** max(0, attempt - 1)))
+    if jitter:
+        delay += (rng or random).random() * jitter
+    return delay
 
 
 class ServeError(RuntimeError):
@@ -56,23 +90,34 @@ class ServeTransportError(ConnectionError):
 class ServeClient:
     """One connection to a serving daemon (reconnects as needed)."""
 
-    def __init__(self, socket_path, *, timeout=120.0,
-                 retry_overloaded=True):
-        self.socket_path = socket_path
+    def __init__(self, address, *, timeout=120.0,
+                 retry_overloaded=True, auth_key=None,
+                 max_retries=TRANSPORT_RETRIES, backoff=0.05,
+                 backoff_cap=0.5, jitter=0.1):
+        self.address = address
         self.timeout = timeout
         self.retry_overloaded = retry_overloaded
+        self.auth_key = auth_key
+        self.max_retries = max(0, int(max_retries))
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.counters = dict.fromkeys(CLIENT_COUNTER_KEYS, 0)
         self._sock = None
         self._reader = None
+        self._connected_once = False
         self._next_id = 0
 
     # -- transport -----------------------------------------------------------
 
     def _connect(self):
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout)
-        sock.connect(self.socket_path)
+        sock = transport_connect(self.address, timeout=self.timeout,
+                                 auth_key=self.auth_key)
         self._sock = sock
         self._reader = sock.makefile("rb")
+        if self._connected_once:
+            self.counters["client_reconnects"] += 1
+        self._connected_once = True
 
     def close(self):
         if self._reader is not None:
@@ -114,28 +159,36 @@ class ServeClient:
     def request(self, request: dict) -> dict:
         """Send one request, return its raw response envelope.
 
-        Reconnects and resends on transport failure (EOF, timeout,
-        refused) — idempotent by construction, since the daemon dedups
-        identical requests and memoises results.
+        Reconnects and resends on transport failure (EOF, reset,
+        timeout, refused) — idempotent by construction, since the
+        daemon dedups identical requests and memoises results.  An
+        authentication rejection is *not* retried: a wrong key stays
+        wrong, and hammering the daemon with it only feeds its
+        ``auth_failed`` counter.
         """
         if "id" not in request:
             self._next_id += 1
             request = dict(request, id=f"c{self._next_id}")
         payload = encode(request)
         last_error = None
-        for attempt in range(TRANSPORT_RETRIES + 1):
+        for attempt in range(self.max_retries + 1):
             try:
                 if self._sock is None:
                     self._connect()
                 self._sock.sendall(payload)
                 return self._read_response(request["id"])
+            except AuthError:
+                self.close()
+                raise
             except (OSError, ConnectionError) as error:
                 last_error = error
                 self.close()
-                time.sleep(min(0.05 * (attempt + 1), 0.5))
+                time.sleep(reconnect_delay(
+                    attempt + 1, base=self.backoff,
+                    cap=self.backoff_cap, jitter=self.jitter))
         raise ServeTransportError(
-            f"daemon at {self.socket_path} unreachable after "
-            f"{TRANSPORT_RETRIES + 1} attempts: {last_error!r}")
+            f"daemon at {self.address} unreachable after "
+            f"{self.max_retries + 1} attempts: {last_error!r}")
 
     # -- the convenient face -------------------------------------------------
 

@@ -1,0 +1,280 @@
+"""Failover client for a multi-daemon serving cluster.
+
+:class:`ClusterClient` fronts N ``repro-serve`` daemons behind one
+``request()``/``call()`` face.  Three properties make a cluster of
+pure-function evaluators behave like one bigger daemon:
+
+* **Rendezvous routing.**  Each request is routed by highest-random-
+  weight (HRW) hash of its canonical request key over the daemon
+  addresses (:func:`rendezvous_rank`).  Identical requests from every
+  client therefore land on the *same* daemon, so the per-daemon
+  dedup/memo machinery keeps coalescing cluster-wide — and when a
+  daemon leaves, only *its* keys move (classic HRW minimal
+  disruption), everyone else's memo stays warm.
+
+* **Health-checked failover.**  Per-daemon health is tracked from
+  cheap ``ping`` probes.  A transport failure marks the daemon
+  unhealthy and schedules the next probe with exponential backoff
+  (capped); requests meanwhile fail over to the next-ranked healthy
+  daemon.  Safe for *any* op, not just idempotent-by-luck ones: every
+  evaluation is a pure function of (content key, config), and the
+  load generator byte-verifies exactly that.
+
+* **Tail hedging.**  With ``hedge_after`` seconds set, a request that
+  has not answered in time is *also* sent to the next-ranked daemon
+  and the first response wins.  Purity again makes this safe — both
+  daemons compute identical bytes — so hedging trades duplicate work
+  for tail latency, the classic tied-requests trick.
+
+The ``counters`` block (``client_reconnects`` aggregated from the
+member clients, plus ``client_failovers`` / ``client_hedges`` /
+``client_probes``) is surfaced by ``repro-serve-load``'s metrics.
+
+One ClusterClient serves one thread, like :class:`ServeClient`
+(the load generator gives each of its client threads its own).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..store import rendezvous_rank
+from .client import (
+    CLIENT_COUNTER_KEYS,
+    ServeClient,
+    ServeError,
+    ServeTransportError,
+)
+from .protocol import canonical_request, request_key
+
+__all__ = ["ClusterClient", "rendezvous_rank"]
+
+#: Health-probe backoff: first retry after PROBE_BASE seconds,
+#: doubling per consecutive failure, capped at PROBE_CAP.
+PROBE_BASE = 0.1
+PROBE_CAP = 5.0
+
+
+class _Health:
+    """One daemon's availability state, as this client observed it."""
+
+    __slots__ = ("healthy", "failures", "next_probe")
+
+    def __init__(self):
+        self.healthy = True
+        self.failures = 0
+        self.next_probe = 0.0
+
+    def mark_down(self):
+        self.healthy = False
+        self.failures += 1
+        backoff = min(PROBE_CAP,
+                      PROBE_BASE * (2 ** (self.failures - 1)))
+        self.next_probe = time.monotonic() + backoff
+
+    def mark_up(self):
+        self.healthy = True
+        self.failures = 0
+        self.next_probe = 0.0
+
+
+class ClusterClient:
+    """Route requests across daemons; fail over; optionally hedge."""
+
+    def __init__(self, addresses, *, auth_key=None, timeout=120.0,
+                 hedge_after=None, retry_overloaded=True,
+                 max_retries=1, backoff=0.05, backoff_cap=0.5,
+                 jitter=0.1):
+        addresses = list(addresses)
+        if not addresses:
+            raise ValueError("cluster needs at least one address")
+        if len(set(addresses)) != len(addresses):
+            raise ValueError(f"duplicate addresses: {addresses}")
+        self.addresses = addresses
+        self.auth_key = auth_key
+        self.timeout = timeout
+        self.hedge_after = hedge_after
+        self.counters = dict.fromkeys(
+            CLIENT_COUNTER_KEYS + ("client_probes",), 0)
+        self._health = {address: _Health() for address in addresses}
+        # Per-member clients keep their connections warm across
+        # requests; a low per-member retry budget keeps failover
+        # snappy (the *cluster* is the retry layer).
+        self._clients = {
+            address: ServeClient(
+                address, timeout=timeout, auth_key=auth_key,
+                retry_overloaded=retry_overloaded,
+                max_retries=max_retries, backoff=backoff,
+                backoff_cap=backoff_cap, jitter=jitter)
+            for address in addresses}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self):
+        for client in self._clients.values():
+            client.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- health --------------------------------------------------------------
+
+    def _probe(self, address) -> bool:
+        """One cheap ping; flips the health state accordingly."""
+        self.counters["client_probes"] += 1
+        try:
+            self._clients[address].ping()
+        except (ServeTransportError, ServeError, OSError):
+            self._health[address].mark_down()
+            return False
+        self._health[address].mark_up()
+        return True
+
+    def _usable(self, address) -> bool:
+        """Healthy, or unhealthy-but-due-for-a-probe (and it passed)."""
+        health = self._health[address]
+        if health.healthy:
+            return True
+        if time.monotonic() < health.next_probe:
+            return False
+        return self._probe(address)
+
+    def healthy_addresses(self) -> list:
+        return [address for address in self.addresses
+                if self._health[address].healthy]
+
+    # -- request routing -----------------------------------------------------
+
+    def _ranked_for(self, request) -> list:
+        key = request_key(canonical_request(request))
+        return rendezvous_rank(key, self.addresses)
+
+    def _send_one(self, address, request) -> dict:
+        response = self._clients[address].response(**request)
+        error = response.get("error") or {}
+        if not response.get("ok") and error.get("kind") == "draining":
+            # ``ServeClient.response`` hands error envelopes back
+            # without raising; draining must surface as an exception
+            # here so the failover loop treats the daemon as gone.
+            raise ServeError(error)
+        self._health[address].mark_up()
+        return response
+
+    def response(self, op: str, **fields) -> dict:
+        """Full response envelope, failing over across the cluster.
+
+        Tries daemons in rendezvous order, skipping ones known to be
+        down (until their probe backoff expires).  A transport failure
+        or a ``draining`` rejection moves on to the next-ranked daemon
+        and counts a failover; only when every daemon fails does the
+        last transport error surface.
+        """
+        request = {"op": op, **fields}
+        ranked = self._ranked_for(request)
+        attempted = False
+        last_error = None
+        for round_ in range(2):
+            for address in ranked:
+                # Second round: desperation — probe gates are waived,
+                # a daemon marked down milliseconds ago may be back.
+                if round_ == 0 and not self._usable(address):
+                    continue
+                if attempted:
+                    self.counters["client_failovers"] += 1
+                attempted = True
+                try:
+                    if self.hedge_after is not None:
+                        return self._hedged(address, ranked, request)
+                    return self._send_one(address, request)
+                except ServeTransportError as error:
+                    last_error = error
+                    self._health[address].mark_down()
+                except ServeError as error:
+                    if error.kind != "draining":
+                        raise
+                    # A draining daemon answers but won't work; its
+                    # keys belong to a peer until it is gone.
+                    last_error = error
+                    self._health[address].mark_down()
+            if last_error is None and not attempted:
+                continue  # all probe-gated; waive the gates
+            if attempted and round_ == 0:
+                continue
+        raise ServeTransportError(
+            f"no daemon in {self.addresses} answered: {last_error!r}")
+
+    def _hedged(self, address, ranked, request) -> dict:
+        """Primary attempt + a backup fired after ``hedge_after``."""
+        fallbacks = [peer for peer in ranked if peer != address
+                     and self._health[peer].healthy]
+        if not fallbacks:
+            return self._send_one(address, request)
+        outcome = {}
+        done = threading.Event()
+
+        def attempt(target, slot):
+            try:
+                result = self._send_one(target, request)
+            except (ServeTransportError, ServeError) as error:
+                self._health[target].mark_down()
+                outcome.setdefault(slot + "_error", error)
+                if "primary_error" in outcome \
+                        and "hedge_error" in outcome:
+                    done.set()
+                return
+            outcome.setdefault("response", result)
+            done.set()
+
+        primary = threading.Thread(
+            target=attempt, args=(address, "primary"), daemon=True)
+        primary.start()
+        if not done.wait(self.hedge_after):
+            self.counters["client_hedges"] += 1
+            hedge = threading.Thread(
+                target=attempt, args=(fallbacks[0], "hedge"),
+                daemon=True)
+            hedge.start()
+        else:
+            outcome.setdefault("hedge_error", None)
+        done.wait(self.timeout)
+        if "response" in outcome:
+            return outcome["response"]
+        error = outcome.get("primary_error") \
+            or outcome.get("hedge_error")
+        if isinstance(error, ServeError):
+            raise error
+        raise ServeTransportError(
+            f"hedged request got no response: {error!r}")
+
+    # -- the convenient face -------------------------------------------------
+
+    def call(self, op: str, **fields):
+        response = self.response(op, **fields)
+        if response.get("ok"):
+            return response["result"]
+        raise ServeError(response.get("error", {}))
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def stats(self) -> dict:
+        """Stats from every reachable daemon, keyed by address."""
+        stats = {}
+        for address in self.addresses:
+            try:
+                stats[address] = self._clients[address].stats()
+            except (ServeTransportError, ServeError):
+                stats[address] = None
+        return stats
+
+    def all_counters(self) -> dict:
+        """This client's counters + the members' reconnect counts."""
+        merged = dict(self.counters)
+        for client in self._clients.values():
+            merged["client_reconnects"] += \
+                client.counters["client_reconnects"]
+        return merged

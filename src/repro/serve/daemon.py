@@ -39,9 +39,20 @@ The robustness spine:
   ``draining`` error — waits for in-flight work under a deadline,
   publishes final stats, and tears the pool down.
 
+* **Multi-host transport.**  Beside the Unix socket the daemon can
+  listen on TCP (``listen=("host", port)``), carrying the *identical*
+  wire protocol behind a per-connection HMAC challenge/response
+  (:mod:`repro.serve.transport`).  Unauthenticated connections are
+  shed before they touch the pool; the Unix path needs no handshake
+  (filesystem permissions gate it) and its claim is arbitrated by an
+  exclusive lock file, so two daemons pointed at one socket path
+  cannot both start, however exactly their startups interleave.
+
 ``REPRO_FAULT_SERVE`` (see :mod:`repro.testing.faults`) injects
 connection-layer faults — dropped, stalled or garbage-prefixed
-responses — just before each response is written.
+responses — just before each response is written;
+``REPRO_FAULT_NET`` injects socket-layer chaos (refused connections,
+partitions, slow links, TCP resets) one layer below.
 """
 
 from __future__ import annotations
@@ -65,17 +76,27 @@ from .protocol import (
     request_key,
 )
 from .supervisor import SupervisedPool, TaskFailure
+from .transport import abort_connection, format_address, server_handshake
 from ..store import LRUCache
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 #: Fresh daemon counter block (republished by the ``stats`` op).
 SERVE_COUNTER_KEYS = (
     "connections", "requests", "ok", "computed", "coalesced",
     "memo_hits", "sheds", "deadline_expired", "failed", "invalid",
-    "draining_rejected", "bad_lines",
+    "draining_rejected", "bad_lines", "auth_ok", "auth_failed",
+    "net_refused",
 )
 
 #: How long a ``stall`` serve fault delays one response.
 STALL_SECONDS = 0.25
+
+#: How long a ``slow`` net fault delays one response write.
+NET_SLOW_SECONDS = 0.25
 
 
 class ServeDaemon:
@@ -86,11 +107,27 @@ class ServeDaemon:
     wraps it with signal handling.
     """
 
-    def __init__(self, socket_path, *, workers=2, queue_depth=32,
+    def __init__(self, socket_path=None, *, listen=None, auth_key=None,
+                 workers=2, queue_depth=32,
                  task_timeout=300.0, retries=2, backoff=0.25,
                  default_deadline=None, retry_after=0.05,
-                 memo_capacity=1024, cache_dir=None, warm=()):
+                 memo_capacity=1024, cache_dir=None, warm=(),
+                 shard_dirs=(), replicas=1):
+        if socket_path is None and listen is None:
+            raise ValueError("daemon needs a socket path, a TCP "
+                             "listen address, or both")
+        if listen is not None and not auth_key:
+            raise ValueError("TCP transport requires an auth key "
+                             "(--auth-key FILE)")
         self.socket_path = socket_path
+        if isinstance(listen, str):
+            host, _, port = listen.rpartition(":")
+            listen = (host or "127.0.0.1", int(port))
+        self.listen = listen
+        self.auth_key = auth_key
+        self.tcp_address = None  # (host, port) actually bound
+        self.shard_dirs = tuple(shard_dirs)
+        self.replicas = max(1, int(replicas))
         self.workers = max(1, int(workers))
         self.queue_depth = max(1, int(queue_depth))
         self.task_timeout = task_timeout
@@ -109,18 +146,27 @@ class ServeDaemon:
         self._settled = threading.Condition(self._lock)
         self._pool = None
         self._listener = None
-        self._accept_thread = None
+        self._tcp_listener = None
+        self._accept_threads = []
+        self._lock_fd = None
         self._started = time.monotonic()
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self):
-        """Bind the socket, build the pool, begin accepting clients."""
+        """Bind the socket(s), build the pool, begin accepting clients."""
+        if self.socket_path is not None:
+            # Claim before building the pool: a losing racer exits
+            # without having forked workers it must then tear down.
+            self._claim_socket_path()
         if self.cache_dir:
             os.makedirs(os.path.join(self.cache_dir, "analysis"),
                         exist_ok=True)
             os.makedirs(os.path.join(self.cache_dir, "traces"),
                         exist_ok=True)
+        for shard in self.shard_dirs:
+            os.makedirs(os.path.join(shard, "analysis"), exist_ok=True)
+            os.makedirs(os.path.join(shard, "traces"), exist_ok=True)
         # Pre-warm in the daemon process so fork-platform workers
         # inherit the compiled workflows instead of redoing them.
         from ..experiments.common import workflow_for
@@ -135,22 +181,96 @@ class ServeDaemon:
         self._pool = SupervisedPool(
             serve_unit, self.workers, mp_context=context,
             initializer=serve_worker_init,
-            initargs=(self.cache_dir, self.warm),
+            initargs=(self.cache_dir, self.warm, self.shard_dirs,
+                      self.replicas),
             timeout=self.task_timeout, retries=self.retries,
             backoff=self.backoff, name="serve-pool")
-        self._claim_socket_path()
-        self._listener = socket.socket(socket.AF_UNIX,
-                                       socket.SOCK_STREAM)
-        self._listener.bind(self.socket_path)
-        self._listener.listen(128)
+        if self.socket_path is not None:
+            self._listener = socket.socket(socket.AF_UNIX,
+                                           socket.SOCK_STREAM)
+            self._listener.bind(self.socket_path)
+            self._listener.listen(128)
+        if self.listen is not None:
+            self._tcp_listener = socket.socket(socket.AF_INET,
+                                               socket.SOCK_STREAM)
+            self._tcp_listener.setsockopt(socket.SOL_SOCKET,
+                                          socket.SO_REUSEADDR, 1)
+            self._tcp_listener.bind(self.listen)
+            self._tcp_listener.listen(128)
+            self.tcp_address = self._tcp_listener.getsockname()[:2]
         self._started = time.monotonic()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="serve-accept", daemon=True)
-        self._accept_thread.start()
+        self._accept_threads = []
+        for listener, authenticated in (
+                (self._listener, False), (self._tcp_listener, True)):
+            if listener is None:
+                continue
+            thread = threading.Thread(
+                target=self._accept_loop, args=(listener, authenticated),
+                name="serve-accept", daemon=True)
+            thread.start()
+            self._accept_threads.append(thread)
         return self
 
+    def addresses(self) -> list:
+        """Every address this daemon serves, in scheme form."""
+        addresses = []
+        if self.socket_path is not None:
+            addresses.append(format_address("unix", self.socket_path))
+        if self.tcp_address is not None:
+            addresses.append(format_address("tcp", self.tcp_address))
+        return addresses
+
+    def _lock_path(self) -> str:
+        return self.socket_path + ".lock"
+
     def _claim_socket_path(self):
-        """Refuse a live daemon's socket; clean up a dead one's."""
+        """Take the socket's exclusive lock file; then any existing
+        socket is provably stale and safe to unlink.
+
+        PR 9 probed the socket (connect → live?) and unlinked on
+        failure, which raced: two daemons probing the same dead socket
+        concurrently both unlinked and both bound — last bind silently
+        stole the path.  The lock file closes the race: ``flock`` is
+        atomic in the kernel, held for the daemon's lifetime, and
+        released automatically on any process death (no stale-pidfile
+        liveness guessing).  The fstat-after-flock check handles the
+        drain-time unlink of the lock file itself: a racer that locked
+        a just-unlinked inode retries on the fresh one.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            self._claim_by_probe()
+            return
+        for _ in range(8):
+            fd = os.open(self._lock_path(), os.O_CREAT | os.O_RDWR,
+                         0o666)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                raise RuntimeError(
+                    f"socket {self.socket_path} already has a live "
+                    "daemon (lock held)") from None
+            try:
+                same = os.fstat(fd).st_ino == \
+                    os.stat(self._lock_path()).st_ino
+            except OSError:
+                same = False  # unlinked under us: retry on a fresh one
+            if not same:
+                os.close(fd)
+                continue
+            os.ftruncate(fd, 0)
+            os.write(fd, f"{os.getpid()}\n".encode())
+            self._lock_fd = fd
+            try:
+                os.unlink(self.socket_path)  # ours now: stale if present
+            except OSError:
+                pass
+            return
+        raise RuntimeError(  # pragma: no cover - needs a pathological race
+            f"could not claim lock for {self.socket_path}")
+
+    def _claim_by_probe(self):  # pragma: no cover - non-POSIX fallback
+        """The PR-9 probe-then-unlink claim, for platforms sans flock."""
         if not os.path.exists(self.socket_path):
             return
         probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -164,6 +284,24 @@ class ServeDaemon:
         finally:
             probe.close()
 
+    def _release_socket_path(self):
+        if self.socket_path is None:
+            return
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        if self._lock_fd is not None:
+            try:
+                os.unlink(self._lock_path())
+            except OSError:
+                pass
+            try:
+                os.close(self._lock_fd)  # after unlink: lock covers it
+            except OSError:
+                pass
+            self._lock_fd = None
+
     def drain(self, timeout=10.0) -> bool:
         """Graceful shutdown: stop admission, finish in-flight work.
 
@@ -174,11 +312,19 @@ class ServeDaemon:
         """
         with self._lock:
             self._draining = True
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
+        for listener in (self._listener, self._tcp_listener):
+            if listener is not None:
+                try:
+                    # close() alone does not wake a thread blocked in
+                    # accept(); shutdown() does, so the accept loop
+                    # exits now instead of leaking until process exit.
+                    listener.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    listener.close()
+                except OSError:
+                    pass
         deadline = time.monotonic() + (timeout or 0.0)
         drained = self._pool.drain(timeout) if self._pool else True
         # Pool futures resolving is not the end: connection threads
@@ -192,28 +338,56 @@ class ServeDaemon:
                 self._settled.wait(timeout=remaining)
         if self._pool is not None and drained:
             self._pool.shutdown()
-        try:
-            os.unlink(self.socket_path)
-        except OSError:
-            pass
+        self._release_socket_path()
         return drained
 
     # -- connection handling -------------------------------------------------
 
-    def _accept_loop(self):
+    def _accept_loop(self, listener, authenticated):
         while True:
             try:
-                conn, _addr = self._listener.accept()
+                conn, _addr = listener.accept()
             except OSError:
                 return  # listener closed (drain)
             with self._lock:
                 self.counters["connections"] += 1
             thread = threading.Thread(target=self._serve_connection,
-                                      args=(conn,), daemon=True,
-                                      name="serve-conn")
+                                      args=(conn, authenticated),
+                                      daemon=True, name="serve-conn")
             thread.start()
 
-    def _serve_connection(self, conn):
+    def _net_fault(self, stage):
+        if os.environ.get("REPRO_FAULT_NET"):
+            from ..testing.faults import net_fault
+            return net_fault(stage)
+        return None
+
+    def _serve_connection(self, conn, authenticated=False):
+        if self._net_fault("accept") == "refuse":
+            # A dead/firewalled listener from the peer's point of view.
+            with self._lock:
+                self.counters["net_refused"] += 1
+            abort_connection(conn)
+            return
+        if authenticated:
+            # The HMAC challenge/response gate: anything that fails it
+            # is shed right here, on this connection thread, before a
+            # single request line is read — the pool never sees
+            # unauthenticated traffic.
+            if not server_handshake(conn, self.auth_key):
+                with self._lock:
+                    self.counters["auth_failed"] += 1
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
+            with self._lock:
+                self.counters["auth_ok"] += 1
         reader = conn.makefile("rb")
         try:
             for line in reader:
@@ -256,7 +430,24 @@ class ServeDaemon:
                 self._settled.notify_all()
 
     def _send(self, conn, response) -> bool:
-        """Write one response line, honouring REPRO_FAULT_SERVE."""
+        """Write one response line, honouring the injected faults.
+
+        ``REPRO_FAULT_NET`` acts at the socket layer (partition /
+        slow / reset), ``REPRO_FAULT_SERVE`` at the response layer
+        (drop / stall / garbage); both are no-ops unless their
+        environment variable is set.
+        """
+        net = self._net_fault("send")
+        if net == "partition":
+            # Blackhole: the response vanishes and the connection
+            # stays open, so the client blocks until its own socket
+            # timeout — exactly what a partitioned link looks like.
+            return True
+        if net == "reset":
+            abort_connection(conn)  # peer sees ECONNRESET, not EOF
+            return False
+        if net == "slow":
+            time.sleep(NET_SLOW_SECONDS)
         if os.environ.get("REPRO_FAULT_SERVE"):
             from ..testing.faults import serve_fault
             fault = serve_fault()
@@ -405,6 +596,7 @@ class ServeDaemon:
         payload = {
             "protocol": PROTOCOL_VERSION,
             "socket": self.socket_path,
+            "addresses": self.addresses(),
             "pid": os.getpid(),
             "uptime_seconds": round(
                 time.monotonic() - self._started, 3),
@@ -421,23 +613,33 @@ class ServeDaemon:
                 "evictions": self._memo.evictions,
             },
         }
-        if self.cache_dir:
+        if self.cache_dir or self.shard_dirs:
             payload["stores"] = self._store_stats()
         return payload
 
     def _store_stats(self) -> dict:
         from ..store import ArtifactStore
+        roots = list(self.shard_dirs) or [self.cache_dir]
         stores = {}
         for name in ("analysis", "traces"):
-            root = os.path.join(self.cache_dir, name)
-            if not os.path.isdir(root):
-                continue
-            stats = ArtifactStore(root).stats()
-            stores[name] = {
-                "entries": stats["entries"],
-                "bytes": stats["bytes"],
-                "quarantined": stats["quarantined_files"],
-            }
+            entries = size = quarantined = 0
+            found = False
+            for base in roots:
+                root = os.path.join(base, name)
+                if not os.path.isdir(root):
+                    continue
+                found = True
+                stats = ArtifactStore(root).stats()
+                entries += stats["entries"]
+                size += stats["bytes"]
+                quarantined += stats["quarantined_files"]
+            if found:
+                stores[name] = {
+                    "entries": entries,
+                    "bytes": size,
+                    "quarantined": quarantined,
+                    "shards": len(roots),
+                }
         return stores
 
 

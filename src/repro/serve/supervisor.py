@@ -128,6 +128,14 @@ class SupervisedPool:
         self._inbox = deque()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
+        # Build (and eagerly fork) the first executor *here*, while the
+        # owner is still setting up.  Deferring it to the scheduler
+        # loop's first dispatch would fork workers at an arbitrary
+        # later moment — for the serving daemon, after clients have
+        # connected, so every worker inherits duplicates of the open
+        # connection fds and a connection the daemon closes stays
+        # alive in the kernel (no EOF/RST) until the pool dies.
+        self._initial_pool = self._make_pool()
         self._thread = threading.Thread(target=self._guarded_loop,
                                         name=name, daemon=True)
         self._thread.start()
@@ -202,9 +210,11 @@ class SupervisedPool:
         # every fd the parent has open at submit time — for the
         # serving daemon that includes accepted client sockets, whose
         # inherited duplicates then keep a connection alive (no EOF)
-        # long after the daemon closes its copy.  Eager forking
-        # happens while the pool owner has no such fds (the daemon
-        # builds its pool before binding the listener).
+        # long after the daemon closes its copy.  The first pool is
+        # built at construction, before the daemon binds its
+        # listeners; only a rebuild can fork while client fds are
+        # open, which is why daemon-side closes also shutdown() the
+        # connection (shutdown acts on the connection, not the fd).
         if hasattr(pool, "_adjust_process_count"):
             for _ in range(self.workers):
                 pool._adjust_process_count()
@@ -227,7 +237,7 @@ class SupervisedPool:
     def _loop(self):
         pending = []   # tickets awaiting (re)dispatch
         inflight = {}  # executor future -> (ticket, submit time)
-        pool = None
+        pool, self._initial_pool = self._initial_pool, None
         try:
             while True:
                 with self._wake:
@@ -314,7 +324,26 @@ class SupervisedPool:
                                     timeout=min(delay, 0.2))
         finally:
             if pool is not None:
-                pool.shutdown(wait=True)
+                self._reap(pool)
+
+    @staticmethod
+    def _reap(pool):
+        """Shut *pool* down without orphaning never-used workers.
+
+        ``executor.shutdown`` stops workers through the manager
+        thread, which only starts on the first ``submit``; a pool
+        that was eagerly forked but never submitted to has no
+        manager, so its workers would stay blocked on the call queue
+        forever — and interpreter exit would block joining them.
+        Nothing is in flight by the time this runs, so killing any
+        survivor loses no work.
+        """
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=True)
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+            process.join()
 
     def _await_some(self, inflight, pending):
         """Block until progress is possible; return finished futures."""

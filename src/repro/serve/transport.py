@@ -1,0 +1,261 @@
+"""Transport layer: address scheme + authenticated TCP handshake.
+
+PR 9's daemon spoke only ``AF_UNIX``.  The cluster tier adds an
+``AF_INET`` transport carrying the *identical* JSON-lines wire
+protocol, behind one address scheme shared by every client-facing
+surface (``ServeClient.connect``, ``repro-cc cache stats --daemon``,
+``repro-serve-load --addr``):
+
+* ``unix:/path/to.sock`` — a Unix-domain stream socket (a bare path
+  with no scheme means the same thing, so every PR-9 call site keeps
+  working);
+* ``tcp://host:port`` — a TCP stream socket, authenticated per
+  connection before a single protocol byte is exchanged.
+
+Authentication is a shared-secret HMAC-SHA256 challenge/response: the
+daemon sends one JSON line ``{"auth": "challenge", "nonce": <hex>}``
+with a fresh random nonce, the client answers ``{"auth": "response",
+"digest": HMAC_SHA256(key, nonce)}``, and the daemon compares with
+:func:`hmac.compare_digest` (constant-time — a byte-wise compare would
+leak digest prefixes to a timing attacker).  On success the daemon
+answers ``{"auth": "ok"}`` and the connection enters the ordinary
+request loop; on failure (bad digest, malformed line, wrong key,
+timeout) the daemon closes the connection *before it touches the
+worker pool* — unauthenticated peers cost one thread a few
+milliseconds, never a computation.  The secret is a key file
+(``repro-serve --auth-key FILE``, any non-empty bytes; trailing
+newlines are ignored so ``openssl rand -hex 32 > key`` works as is).
+
+The Unix transport stays unauthenticated by design: filesystem
+permissions on the socket path already gate it, exactly as before.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import json
+import os
+import socket
+import struct
+
+#: Bytes of random nonce in each auth challenge.
+NONCE_BYTES = 32
+
+#: Seconds an accepted TCP connection gets to complete the handshake
+#: before the daemon sheds it (an unauthenticated peer must never pin
+#: a connection thread for long).
+HANDSHAKE_TIMEOUT = 5.0
+
+#: Longest line the handshake reader accepts (a peer streaming garbage
+#: without a newline must not balloon memory).
+MAX_HANDSHAKE_LINE = 4096
+
+
+class AddressError(ValueError):
+    """An address string does not parse under the scheme."""
+
+
+class AuthError(ConnectionError):
+    """The authentication handshake failed (or was refused)."""
+
+
+# -- the address scheme ------------------------------------------------------
+
+def parse_address(address):
+    """``("unix", path)`` or ``("tcp", (host, port))`` for *address*.
+
+    Accepts ``unix:PATH``, ``tcp://HOST:PORT`` and — for backward
+    compatibility with every PR-9 call site — a bare filesystem path.
+    """
+    if not isinstance(address, str) or not address:
+        raise AddressError(f"bad address {address!r}")
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise AddressError("unix: address needs a socket path")
+        return ("unix", path)
+    if address.startswith("tcp://"):
+        rest = address[len("tcp://"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise AddressError(
+                f"bad tcp address {address!r} (want tcp://host:port)")
+        return ("tcp", (host, int(port)))
+    if "://" in address:
+        raise AddressError(
+            f"unknown address scheme {address!r} "
+            "(unix:/path or tcp://host:port)")
+    return ("unix", address)
+
+
+def format_address(kind, target) -> str:
+    """The canonical string for a parsed ``(kind, target)`` pair."""
+    if kind == "unix":
+        return f"unix:{target}"
+    host, port = target
+    return f"tcp://{host}:{port}"
+
+
+def load_auth_key(path) -> bytes:
+    """The shared secret inside *path* (surrounding whitespace ignored)."""
+    with open(path, "rb") as handle:
+        key = handle.read().strip()
+    if not key:
+        raise AuthError(f"auth key file {path} is empty")
+    return key
+
+
+# -- handshake plumbing ------------------------------------------------------
+
+def auth_digest(key: bytes, nonce_hex: str) -> str:
+    """The expected response digest for one challenge nonce."""
+    return hmac.new(key, bytes.fromhex(nonce_hex),
+                    hashlib.sha256).hexdigest()
+
+
+def _read_line(sock) -> bytes:
+    """One newline-terminated line, byte by byte, bounded.
+
+    The handshake cannot use a buffered ``makefile`` reader: whatever
+    it reads ahead would be lost to the protocol reader layered on
+    after authentication.  Handshake lines are tiny, so the per-byte
+    recv costs nothing measurable.
+    """
+    chunks = bytearray()
+    while len(chunks) < MAX_HANDSHAKE_LINE:
+        byte = sock.recv(1)
+        if not byte:
+            raise ConnectionError("connection closed mid-handshake")
+        if byte == b"\n":
+            return bytes(chunks)
+        chunks += byte
+    raise ConnectionError("handshake line too long")
+
+
+def _send_json(sock, message: dict):
+    sock.sendall(json.dumps(message, sort_keys=True,
+                            separators=(",", ":")).encode() + b"\n")
+
+
+def server_handshake(conn, key: bytes) -> bool:
+    """Challenge the fresh connection *conn*; True iff it authenticated.
+
+    Runs under :data:`HANDSHAKE_TIMEOUT`; any failure — wrong digest,
+    malformed response, timeout, EOF — returns False and the caller
+    closes the connection without it ever reaching the pool.
+    """
+    previous = conn.gettimeout()
+    conn.settimeout(HANDSHAKE_TIMEOUT)
+    try:
+        nonce = os.urandom(NONCE_BYTES).hex()
+        _send_json(conn, {"auth": "challenge", "nonce": nonce})
+        try:
+            response = json.loads(_read_line(conn).decode("utf-8"))
+        except (ConnectionError, OSError, UnicodeDecodeError,
+                ValueError):
+            return False
+        if not isinstance(response, dict):
+            return False
+        digest = response.get("digest")
+        if not isinstance(digest, str):
+            return False
+        if not hmac.compare_digest(digest, auth_digest(key, nonce)):
+            return False
+        try:
+            _send_json(conn, {"auth": "ok"})
+        except OSError:
+            return False
+        return True
+    except OSError:
+        return False
+    finally:
+        try:
+            conn.settimeout(previous)
+        except OSError:
+            pass
+
+
+def client_handshake(sock, key):
+    """Answer the daemon's challenge on *sock* (raises on failure)."""
+    try:
+        challenge = json.loads(_read_line(sock).decode("utf-8"))
+    except (ConnectionError, OSError) as error:
+        # EOF/reset before any challenge arrived: the daemon shed the
+        # connection or died.  That is a transport failure the client
+        # may retry, not an authentication verdict.
+        raise ConnectionError(f"no auth challenge: {error}") from None
+    except (UnicodeDecodeError, ValueError) as error:
+        raise AuthError(f"malformed auth challenge: {error}") from None
+    nonce = challenge.get("nonce") if isinstance(challenge, dict) \
+        else None
+    if not isinstance(nonce, str):
+        raise AuthError(f"malformed auth challenge: {challenge!r}")
+    if key is None:
+        raise AuthError(
+            "daemon requires authentication (pass an auth key)")
+    _send_json(sock, {"auth": "response",
+                      "digest": auth_digest(key, nonce)})
+    try:
+        verdict = json.loads(_read_line(sock).decode("utf-8"))
+    except (ConnectionError, OSError, UnicodeDecodeError,
+            ValueError) as error:
+        raise AuthError(f"rejected by daemon: {error}") from None
+    if not (isinstance(verdict, dict) and verdict.get("auth") == "ok"):
+        raise AuthError(f"rejected by daemon: {verdict!r}")
+
+
+# -- client-side connect -----------------------------------------------------
+
+def connect(address, *, timeout=None, auth_key=None):
+    """A connected (and, over TCP, authenticated) stream socket.
+
+    *address* follows the scheme of :func:`parse_address`; *auth_key*
+    is the shared secret bytes for TCP daemons (ignored over unix).
+    Raises the underlying ``OSError`` on connect failure and
+    :class:`AuthError` when the daemon refuses the handshake.
+    """
+    kind, target = parse_address(address)
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.settimeout(timeout)
+        sock.connect(target)
+        if kind == "tcp":
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            client_handshake(sock, auth_key)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def abort_connection(conn):
+    """Hard-abort *conn*: the peer fails immediately, never cleanly.
+
+    ``SO_LINGER`` with a zero timeout makes the final close send RST
+    and drop any unsent data — the ``reset`` net fault, and the
+    closest user space gets to yanking a cable mid-write.  The
+    ``shutdown`` in between is load-bearing: it acts on the
+    *connection* rather than the file descriptor, so the peer is
+    unblocked promptly even when a forked pool worker still holds an
+    inherited duplicate of the fd (``close`` alone would leave the
+    connection established in the kernel and the peer hanging until
+    its socket timeout).  On AF_UNIX sockets linger is a no-op and
+    this degrades to shutdown + close.
+    """
+    try:
+        conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0))
+    except OSError:
+        pass
+    try:
+        conn.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        conn.close()
+    except OSError:
+        pass

@@ -56,6 +56,7 @@ def _no_leftover_faults(monkeypatch):
     monkeypatch.delenv("REPRO_FAULT_STORE_WRITE", raising=False)
     monkeypatch.delenv("REPRO_FAULT_UNIT", raising=False)
     monkeypatch.delenv("REPRO_FAULT_SERVE", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_NET", raising=False)
     reset_fault_counters()
     yield
     reset_fault_counters()
